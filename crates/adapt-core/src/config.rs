@@ -1,0 +1,97 @@
+//! Tuning knobs of the ADAPT engine.
+
+/// Configuration of the event-driven pipeline (§2.2.1).
+///
+/// ```
+/// use adapt_core::AdaptConfig;
+/// let cfg = AdaptConfig::default().with_seg_size(32 * 1024).with_outstanding(2, 6);
+/// assert_eq!(cfg.seg_size, 32 * 1024);
+/// assert!(cfg.outstanding_recvs > cfg.outstanding_sends, "the M > N rule");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptConfig {
+    /// Pipeline segment size in bytes.
+    pub seg_size: u64,
+    /// `N`: concurrent outstanding sends per child.
+    pub outstanding_sends: u32,
+    /// `M`: concurrent outstanding receives per parent/child link. The
+    /// paper sets `M > N` so a segment's receive is always posted before
+    /// the segment arrives, avoiding the unexpected-message copy.
+    pub outstanding_recvs: u32,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            seg_size: 64 * 1024,
+            outstanding_sends: 4,
+            outstanding_recvs: 8,
+        }
+    }
+}
+
+impl AdaptConfig {
+    /// A configuration with a different segment size.
+    pub fn with_seg_size(mut self, seg_size: u64) -> Self {
+        assert!(seg_size > 0);
+        self.seg_size = seg_size;
+        self
+    }
+
+    /// A configuration with different pipeline depths.
+    pub fn with_outstanding(mut self, sends: u32, recvs: u32) -> Self {
+        assert!(sends > 0 && recvs > 0);
+        self.outstanding_sends = sends;
+        self.outstanding_recvs = recvs;
+        self
+    }
+}
+
+/// Pack an operation token: an 8-bit kind, a 24-bit peer index, and a
+/// 32-bit segment index.
+pub(crate) fn pack_token(kind: u8, peer: u32, seg: u64) -> adapt_mpi::Token {
+    debug_assert!(peer < (1 << 24));
+    debug_assert!(seg < (1 << 32));
+    adapt_mpi::Token(((kind as u64) << 56) | ((peer as u64) << 32) | seg)
+}
+
+/// Unpack a token produced by [`pack_token`].
+pub(crate) fn unpack_token(t: adapt_mpi::Token) -> (u8, u32, u64) {
+    (
+        (t.0 >> 56) as u8,
+        ((t.0 >> 32) & 0xFF_FFFF) as u32,
+        t.0 & 0xFFFF_FFFF,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_m_greater_than_n() {
+        let c = AdaptConfig::default();
+        assert!(c.outstanding_recvs > c.outstanding_sends);
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        for (k, p, s) in [
+            (0u8, 0u32, 0u64),
+            (3, 1023, 4_000_000_000),
+            (255, (1 << 24) - 1, u32::MAX as u64),
+        ] {
+            assert_eq!(unpack_token(pack_token(k, p, s)), (k, p, s));
+        }
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = AdaptConfig::default()
+            .with_seg_size(4096)
+            .with_outstanding(2, 5);
+        assert_eq!(c.seg_size, 4096);
+        assert_eq!(c.outstanding_sends, 2);
+        assert_eq!(c.outstanding_recvs, 5);
+    }
+}

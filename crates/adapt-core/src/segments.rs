@@ -1,0 +1,79 @@
+//! Message segmentation for pipelined collectives.
+
+/// Partition of a message into fixed-size segments (the last one may be
+/// short).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segments {
+    total: u64,
+    seg: u64,
+}
+
+impl Segments {
+    /// Split `total` bytes into segments of at most `seg` bytes.
+    pub fn new(total: u64, seg: u64) -> Segments {
+        assert!(seg > 0, "segment size must be positive");
+        Segments { total, seg }
+    }
+
+    /// Total message size.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of segments (zero for an empty message).
+    pub fn count(&self) -> u64 {
+        self.total.div_ceil(self.seg)
+    }
+
+    /// Byte offset of segment `i`.
+    pub fn offset(&self, i: u64) -> u64 {
+        debug_assert!(i < self.count());
+        i * self.seg
+    }
+
+    /// Length of segment `i`.
+    pub fn len(&self, i: u64) -> u64 {
+        debug_assert!(i < self.count());
+        (self.total - i * self.seg).min(self.seg)
+    }
+
+    /// True when the message is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let s = Segments::new(1024, 256);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.len(3), 256);
+        assert_eq!(s.offset(2), 512);
+    }
+
+    #[test]
+    fn ragged_tail() {
+        let s = Segments::new(1000, 256);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.len(3), 232);
+        assert_eq!((0..s.count()).map(|i| s.len(i)).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn empty_message() {
+        let s = Segments::new(0, 64);
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn oversized_segment() {
+        let s = Segments::new(10, 4096);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.len(0), 10);
+    }
+}

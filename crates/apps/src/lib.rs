@@ -1,0 +1,22 @@
+//! # adapt-apps — applications on the simulated MPI runtime
+//!
+//! ASP (all-pairs shortest paths via parallel Floyd–Warshall), the
+//! application of the paper's §5.3 / Table 1:
+//!
+//! - [`asp`]: the performance model — one row broadcast per outer
+//!   iteration with rotating roots, modelled relaxation compute, and the
+//!   communication-vs-total-runtime split Table 1 reports;
+//! - [`verify`]: a real-data distributed Floyd–Warshall checked against a
+//!   sequential solve, demonstrating end-to-end data correctness of the
+//!   simulated runtime;
+//! - [`dnn`]: a data-parallel training step (the deep-learning workload
+//!   the paper's introduction motivates) comparing gradient-allreduce
+//!   strategies, with a numerically verified SGD twin.
+
+pub mod asp;
+pub mod dnn;
+pub mod verify;
+
+pub use asp::{asp_programs, run_asp, AspConfig, AspResult};
+pub use dnn::{run_training, verify_data_parallel_sgd, GradStrategy, TrainConfig, TrainResult};
+pub use verify::{random_weights, sequential_fw, verify_distributed_fw};

@@ -1,0 +1,112 @@
+//! The `tuned`-style decision function: pick algorithm and segment size
+//! from message size and communicator size, as Open MPI's default
+//! collective module does ("OMPI-default uses a decision tree to guide
+//! collective algorithm selection", §5.2.2).
+//!
+//! The rules below are a simplified transcription of the fixed decision
+//! rules in Open MPI 2.x's `coll_tuned`: small messages use low-latency
+//! binomial trees without segmentation, mid-size messages use segmented
+//! binary trees, and large messages switch to a pipelined chain — the
+//! visible algorithm switch in the paper's Figure 9a.
+
+use adapt_core::TreeKind;
+
+/// A tuned decision: tree shape plus pipeline segment size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Tree shape to use.
+    pub tree: TreeKind,
+    /// Segment size (equal to the message size = no segmentation).
+    pub seg_size: u64,
+}
+
+/// Decision rule for broadcast.
+pub fn bcast(nranks: u32, msg_bytes: u64) -> Decision {
+    let msg = msg_bytes.max(1);
+    if nranks < 4 {
+        return Decision {
+            tree: TreeKind::Chain,
+            seg_size: msg.min(128 * 1024),
+        };
+    }
+    if msg_bytes <= 8 * 1024 {
+        Decision {
+            tree: TreeKind::Binomial,
+            seg_size: msg,
+        }
+    } else if msg_bytes <= 256 * 1024 {
+        Decision {
+            tree: TreeKind::Binomial,
+            seg_size: 32 * 1024,
+        }
+    } else {
+        // Large messages: segmented (split-)binary tree — the visible
+        // algorithm switch after 256 KB in Figure 9a, and the reason the
+        // decision tree picks a non-chain shape on small GPU jobs (§5.2.2).
+        Decision {
+            tree: TreeKind::Binary,
+            seg_size: 128 * 1024,
+        }
+    }
+}
+
+/// Decision rule for reduce.
+pub fn reduce(nranks: u32, msg_bytes: u64) -> Decision {
+    let msg = msg_bytes.max(1);
+    if nranks < 4 {
+        return Decision {
+            tree: TreeKind::Chain,
+            seg_size: msg.min(128 * 1024),
+        };
+    }
+    if msg_bytes <= 16 * 1024 {
+        Decision {
+            tree: TreeKind::Binomial,
+            seg_size: msg,
+        }
+    } else if msg_bytes <= 512 * 1024 {
+        Decision {
+            tree: TreeKind::Binomial,
+            seg_size: 32 * 1024,
+        }
+    } else {
+        Decision {
+            tree: TreeKind::Binary,
+            seg_size: 128 * 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcast_switches_algorithms_with_size() {
+        assert_eq!(bcast(1024, 1024).tree, TreeKind::Binomial);
+        assert_eq!(bcast(1024, 64 * 1024).tree, TreeKind::Binomial);
+        assert_eq!(bcast(1024, 64 * 1024).seg_size, 32 * 1024);
+        assert_eq!(bcast(1024, 4 << 20).tree, TreeKind::Binary);
+        // No segmentation for small messages.
+        assert_eq!(bcast(1024, 1024).seg_size, 1024);
+    }
+
+    #[test]
+    fn reduce_switches_algorithms_with_size() {
+        assert_eq!(reduce(1024, 1024).tree, TreeKind::Binomial);
+        assert_eq!(reduce(1024, 64 * 1024).tree, TreeKind::Binomial);
+        assert_eq!(reduce(1024, 4 << 20).tree, TreeKind::Binary);
+    }
+
+    #[test]
+    fn tiny_communicators_use_chains() {
+        assert_eq!(bcast(2, 4 << 20).tree, TreeKind::Chain);
+        assert_eq!(reduce(3, 123).tree, TreeKind::Chain);
+    }
+
+    #[test]
+    fn zero_byte_decision_is_sane() {
+        assert!(bcast(64, 0).seg_size >= 1);
+        assert!(reduce(64, 0).seg_size >= 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Post-run analysis over recorded traces and run results.
+
+use crate::world::{RunResult, TraceEvent, TraceKind};
+use adapt_sim::time::Duration;
+
+/// Bytes moved rank → rank, from a recorded trace (based on completed
+/// receives, i.e. bytes that actually arrived).
+pub fn comm_matrix(trace: &[TraceEvent], nranks: u32) -> Vec<Vec<u64>> {
+    let n = nranks as usize;
+    let mut m = vec![vec![0u64; n]; n];
+    for e in trace {
+        if e.kind == TraceKind::RecvDone {
+            m[e.peer as usize][e.rank as usize] += e.amount;
+        }
+    }
+    m
+}
+
+/// Per-rank CPU utilization: pure work divided by the run's makespan.
+pub fn busy_fractions(result: &RunResult) -> Vec<f64> {
+    let total = result.makespan.as_secs_f64();
+    if total <= 0.0 {
+        return vec![0.0; result.per_rank_busy.len()];
+    }
+    result
+        .per_rank_busy
+        .iter()
+        .map(|b| b.as_secs_f64() / total)
+        .collect()
+}
+
+/// Count trace events per kind, in a fixed order.
+pub fn event_counts(trace: &[TraceEvent]) -> Vec<(TraceKind, usize)> {
+    let kinds = [
+        TraceKind::SendPosted,
+        TraceKind::SendDone,
+        TraceKind::RecvPosted,
+        TraceKind::RecvDone,
+        TraceKind::Compute,
+        TraceKind::Finish,
+    ];
+    kinds
+        .iter()
+        .map(|&k| (k, trace.iter().filter(|e| e.kind == k).count()))
+        .collect()
+}
+
+/// Idle tail per rank: how long each rank waited between its own finish
+/// and the slowest rank's finish — the skew a synchronizing caller would
+/// observe.
+pub fn finish_skew(result: &RunResult) -> Vec<Duration> {
+    let last = result
+        .per_rank_finish
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(adapt_sim::time::Time::ZERO);
+    result
+        .per_rank_finish
+        .iter()
+        .map(|&t| last.saturating_since(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::TraceEvent;
+
+    fn ev(kind: TraceKind, rank: u32, peer: u32, amount: u64) -> TraceEvent {
+        TraceEvent {
+            time_ns: 0,
+            rank,
+            kind,
+            peer,
+            amount,
+        }
+    }
+
+    #[test]
+    fn comm_matrix_accumulates_by_sender() {
+        let trace = vec![
+            ev(TraceKind::RecvDone, 1, 0, 100),
+            ev(TraceKind::RecvDone, 1, 0, 50),
+            ev(TraceKind::RecvDone, 2, 1, 25),
+            ev(TraceKind::SendPosted, 0, 1, 999), // ignored
+        ];
+        let m = comm_matrix(&trace, 3);
+        assert_eq!(m[0][1], 150);
+        assert_eq!(m[1][2], 25);
+        assert_eq!(m[0][2], 0);
+    }
+
+    #[test]
+    fn event_counts_cover_kinds() {
+        let trace = vec![
+            ev(TraceKind::SendPosted, 0, 1, 8),
+            ev(TraceKind::SendDone, 0, 0, 0),
+            ev(TraceKind::Finish, 0, 0, 0),
+            ev(TraceKind::Finish, 1, 0, 0),
+        ];
+        let counts = event_counts(&trace);
+        assert!(counts.contains(&(TraceKind::SendPosted, 1)));
+        assert!(counts.contains(&(TraceKind::Finish, 2)));
+        assert!(counts.contains(&(TraceKind::RecvDone, 0)));
+    }
+}

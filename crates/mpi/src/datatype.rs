@@ -1,0 +1,174 @@
+//! MPI-style datatypes and predefined reduction operators.
+//!
+//! Buffers travel as raw bytes; this module gives them element-wise
+//! meaning so reduction collectives can be verified numerically (the
+//! simulated reduce must equal a sequential fold, whatever the tree,
+//! segmentation, or noise).
+
+/// Element type of a typed buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit IEEE float.
+    F64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 32-bit signed integer.
+    I32,
+    /// Unsigned byte.
+    U8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            DType::F64 => 8,
+            DType::F32 => 4,
+            DType::I32 => 4,
+            DType::U8 => 1,
+        }
+    }
+}
+
+/// Predefined reduction operators (the MPI_Op subset the paper exercises).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+macro_rules! combine_typed {
+    ($ty:ty, $op:expr, $acc:expr, $operand:expr) => {{
+        let step = std::mem::size_of::<$ty>();
+        assert_eq!(
+            $acc.len() % step,
+            0,
+            "buffer not a whole number of elements"
+        );
+        for (a, b) in $acc.chunks_exact_mut(step).zip($operand.chunks_exact(step)) {
+            let x = <$ty>::from_le_bytes(a.try_into().unwrap());
+            let y = <$ty>::from_le_bytes(b.try_into().unwrap());
+            let r = match $op {
+                ReduceOp::Sum => x + y,
+                ReduceOp::Prod => x * y,
+                ReduceOp::Max => {
+                    if y > x {
+                        y
+                    } else {
+                        x
+                    }
+                }
+                ReduceOp::Min => {
+                    if y < x {
+                        y
+                    } else {
+                        x
+                    }
+                }
+            };
+            a.copy_from_slice(&r.to_le_bytes());
+        }
+    }};
+}
+
+/// `acc[i] = op(acc[i], operand[i])` element-wise over little-endian bytes.
+///
+/// Panics if the buffers differ in length or are not whole elements.
+pub fn combine(op: ReduceOp, dtype: DType, acc: &mut [u8], operand: &[u8]) {
+    assert_eq!(acc.len(), operand.len(), "operand length mismatch");
+    match dtype {
+        DType::F64 => combine_typed!(f64, op, acc, operand),
+        DType::F32 => combine_typed!(f32, op, acc, operand),
+        DType::I32 => combine_typed!(i32, op, acc, operand),
+        DType::U8 => combine_typed!(u8, op, acc, operand),
+    }
+}
+
+/// Encode a slice of f64 as little-endian bytes (test/workload helper).
+pub fn f64_to_bytes(xs: &[f64]) -> Vec<u8> {
+    xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Decode little-endian bytes into f64s (test/workload helper).
+pub fn bytes_to_f64(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_sum() {
+        let mut acc = f64_to_bytes(&[1.0, 2.0, 3.0]);
+        let operand = f64_to_bytes(&[10.0, 20.0, 30.0]);
+        combine(ReduceOp::Sum, DType::F64, &mut acc, &operand);
+        assert_eq!(bytes_to_f64(&acc), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn f64_prod_max_min() {
+        let base = f64_to_bytes(&[2.0, -1.0]);
+        let other = f64_to_bytes(&[3.0, 4.0]);
+        let mut p = base.clone();
+        combine(ReduceOp::Prod, DType::F64, &mut p, &other);
+        assert_eq!(bytes_to_f64(&p), vec![6.0, -4.0]);
+        let mut mx = base.clone();
+        combine(ReduceOp::Max, DType::F64, &mut mx, &other);
+        assert_eq!(bytes_to_f64(&mx), vec![3.0, 4.0]);
+        let mut mn = base;
+        combine(ReduceOp::Min, DType::F64, &mut mn, &other);
+        assert_eq!(bytes_to_f64(&mn), vec![2.0, -1.0]);
+    }
+
+    #[test]
+    fn i32_and_u8_ops() {
+        let mut acc = 5i32.to_le_bytes().to_vec();
+        combine(ReduceOp::Sum, DType::I32, &mut acc, &7i32.to_le_bytes());
+        assert_eq!(i32::from_le_bytes(acc[..4].try_into().unwrap()), 12);
+        let mut acc = vec![200u8, 3];
+        combine(ReduceOp::Max, DType::U8, &mut acc, &[100u8, 9]);
+        assert_eq!(acc, vec![200, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut acc = vec![0u8; 8];
+        combine(ReduceOp::Sum, DType::F64, &mut acc, &[0u8; 16]);
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F64.size(), 8);
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::I32.size(), 4);
+        assert_eq!(DType::U8.size(), 1);
+    }
+
+    #[test]
+    fn combine_is_associative_for_sum() {
+        // ((a+b)+c) == (a+(b+c)) for integer data — the property reduce
+        // trees rely on.
+        let a = [1i32, 2, 3];
+        let b = [4i32, 5, 6];
+        let c = [7i32, 8, 9];
+        let enc = |xs: &[i32]| xs.iter().flat_map(|x| x.to_le_bytes()).collect::<Vec<_>>();
+        let mut left = enc(&a);
+        combine(ReduceOp::Sum, DType::I32, &mut left, &enc(&b));
+        combine(ReduceOp::Sum, DType::I32, &mut left, &enc(&c));
+        let mut bc = enc(&b);
+        combine(ReduceOp::Sum, DType::I32, &mut bc, &enc(&c));
+        let mut right = enc(&a);
+        combine(ReduceOp::Sum, DType::I32, &mut right, &bc);
+        assert_eq!(left, right);
+    }
+}

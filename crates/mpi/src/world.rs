@@ -1,0 +1,1023 @@
+//! The simulated MPI runtime: progress engine, P2P protocol, event loop.
+//!
+//! ## Execution model
+//!
+//! Each rank is a single-threaded MPI process: every action that needs its
+//! CPU (posting operations, matching, handshakes, completion callbacks,
+//! compute) serializes through the rank's *busy horizon* and is preempted
+//! by its noise windows. In-flight network transfers progress regardless —
+//! DMA does not need the host — which is precisely the asymmetry that lets
+//! event-driven collectives absorb noise (§2.2.2 of the paper).
+//!
+//! ## P2P protocol
+//!
+//! *Eager* (size ≤ eager limit): data is injected immediately. If it
+//! arrives before the matching receive is posted it is buffered as
+//! *unexpected* and the receiver later pays an extra copy
+//! (`unexpected_overhead + bytes / unexpected_copy_bandwidth`) — the cost
+//! ADAPT's `M > N` rule exists to avoid (§2.2.1).
+//!
+//! *Rendezvous* (size > eager limit): the sender posts a zero-byte RTS;
+//! the receiver answers CTS once a matching receive is posted; data flows
+//! after the CTS returns. The handshake is what couples a noisy receiver
+//! back to its sender in blocking implementations.
+
+use crate::payload::Payload;
+use crate::program::{Completion, Op, ProgramCtx, RankProgram, Tag, Token};
+use adapt_net::{Fabric, FlowId, FlowScheduler, FlowSpec, NetStep, Network, Path};
+use adapt_noise::ClusterNoise;
+use adapt_sim::queue::{EventKey, EventQueue};
+use adapt_sim::time::{Duration, Time};
+use adapt_topology::{MachineSpec, MemSpace, Placement, Rank};
+use std::collections::HashMap;
+
+/// Fixed CPU cost of handling any completion in the progress engine.
+const PROGRESS_OVERHEAD: Duration = Duration(50);
+/// Fixed CPU cost of protocol actions (posting a receive, sending CTS,
+/// launching rendezvous data, enqueueing GPU work).
+const CTRL_OVERHEAD: Duration = Duration(100);
+
+/// Message id in the in-flight table.
+type MsgId = u64;
+
+#[derive(Debug)]
+struct Msg {
+    src: Rank,
+    dst: Rank,
+    tag: Tag,
+    payload: Payload,
+    send_token: Token,
+    src_mem: MemSpace,
+    dst_mem: MemSpace,
+    recv_token: Option<Token>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum FlowKind {
+    Rts(MsgId),
+    Cts(MsgId),
+    EagerData(MsgId),
+    RndvData(MsgId),
+    Copy { rank: Rank, token: Token },
+}
+
+#[derive(Debug)]
+enum RankItem {
+    Start,
+    Deliver(Completion),
+    RtsArrived(MsgId),
+    CtsArrived(MsgId),
+    EagerArrived(MsgId),
+    RndvDataArrived(MsgId),
+}
+
+enum Ev {
+    Net(FlowId),
+    Rank {
+        rank: Rank,
+        item: RankItem,
+    },
+    Launch {
+        kind: FlowKind,
+        path: Path,
+        bytes: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PostedRecv {
+    src: Rank,
+    tag: Tag,
+    token: Token,
+    mem: MemSpace,
+}
+
+#[derive(Debug, Default)]
+struct RankState {
+    busy_until: Time,
+    /// Progress-thread horizon (used when asynchronous progress is on:
+    /// protocol work and callbacks run here, application compute on
+    /// `busy_until`).
+    prog_busy_until: Time,
+    /// Pure CPU work performed (noise stretching excluded).
+    busy_accum: Duration,
+    posted: Vec<PostedRecv>,
+    unexp_eager: Vec<MsgId>,
+    unexp_rts: Vec<MsgId>,
+    finished_at: Option<Time>,
+    gpu_stream_busy: Time,
+}
+
+/// One recorded runtime event (tracing enabled via
+/// [`World::enable_trace`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time, nanoseconds.
+    pub time_ns: u64,
+    /// Rank the event belongs to.
+    pub rank: Rank,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Peer rank (sends/recvs) or 0.
+    pub peer: Rank,
+    /// Bytes involved (transfers) or nanoseconds (compute) or 0.
+    pub amount: u64,
+}
+
+/// Kinds of traced runtime events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A send was posted.
+    SendPosted,
+    /// A send completed (buffer reusable).
+    SendDone,
+    /// A receive was posted.
+    RecvPosted,
+    /// A receive completed (data arrived and matched).
+    RecvDone,
+    /// Blocking compute was posted (`amount` = nanoseconds).
+    Compute,
+    /// The rank finished its program.
+    Finish,
+}
+
+impl TraceKind {
+    /// Stable lowercase label (CSV column value).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::SendPosted => "send_posted",
+            TraceKind::SendDone => "send_done",
+            TraceKind::RecvPosted => "recv_posted",
+            TraceKind::RecvDone => "recv_done",
+            TraceKind::Compute => "compute",
+            TraceKind::Finish => "finish",
+        }
+    }
+}
+
+/// Render a trace as CSV (`time_ns,rank,kind,peer,amount`).
+pub fn trace_to_csv(trace: &[TraceEvent]) -> String {
+    let mut out = String::from("time_ns,rank,kind,peer,amount\n");
+    for e in trace {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            e.time_ns,
+            e.rank,
+            e.kind.label(),
+            e.peer,
+            e.amount
+        ));
+    }
+    out
+}
+
+/// Aggregate counters for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Events processed by the main loop.
+    pub events: u64,
+    /// Point-to-point messages initiated.
+    pub messages: u64,
+    /// Receives that matched an already-arrived (unexpected) eager message.
+    pub unexpected_matches: u64,
+    /// Rendezvous handshakes performed.
+    pub rendezvous: u64,
+    /// Payload bytes delivered by the network.
+    pub delivered_bytes: u64,
+    /// Network-engine diagnostics: neighbour refresh scans.
+    pub net_refreshes: u64,
+    /// Network-engine diagnostics: drain-event reschedules.
+    pub net_reschedules: u64,
+}
+
+/// Outcome of a completed simulation.
+pub struct RunResult {
+    /// Time at which the last rank finished.
+    pub makespan: Duration,
+    /// Per-rank finish times.
+    pub per_rank_finish: Vec<Time>,
+    /// Per-rank pure CPU work performed (overheads, matching, folds,
+    /// application compute; noise stretching excluded).
+    pub per_rank_busy: Vec<Duration>,
+    /// Aggregate counters.
+    pub stats: WorldStats,
+    /// The rank programs, returned for inspection (downcast with
+    /// `as Box<dyn Any>` — `RankProgram` upcasts to `Any`).
+    pub programs: Vec<Box<dyn RankProgram>>,
+    /// Recorded event timeline (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+struct QueueSched<'a>(&'a mut EventQueue<Ev>);
+
+impl FlowScheduler for QueueSched<'_> {
+    fn schedule(&mut self, at: Time, flow: FlowId) -> EventKey {
+        self.0.schedule(at, Ev::Net(flow))
+    }
+    fn cancel(&mut self, key: EventKey) {
+        self.0.cancel(key);
+    }
+}
+
+/// Operation sink handed to program handlers (implements [`ProgramCtx`]).
+struct OpSink<'a> {
+    rank: Rank,
+    nranks: u32,
+    now: Time,
+    placement: &'a Placement,
+    spec: &'a MachineSpec,
+    ops: Vec<Op>,
+}
+
+impl ProgramCtx for OpSink<'_> {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+    fn nranks(&self) -> u32 {
+        self.nranks
+    }
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn mem_of(&self, rank: Rank) -> MemSpace {
+        self.placement.default_mem(rank)
+    }
+    fn host_of(&self, rank: Rank) -> MemSpace {
+        self.placement.host_mem(rank)
+    }
+    fn cpu_reduce_cost(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.spec.cpu_reduce_bandwidth)
+    }
+    fn eager_limit(&self) -> u64 {
+        self.spec.eager_limit
+    }
+    fn post(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+}
+
+/// The simulated job: machine + placement + noise + rank programs.
+pub struct World {
+    spec: MachineSpec,
+    placement: Placement,
+    fabric: Fabric,
+    net: Network,
+    noise: ClusterNoise,
+    queue: EventQueue<Ev>,
+    ranks: Vec<RankState>,
+    msgs: HashMap<MsgId, Msg>,
+    next_msg: MsgId,
+    flow_kinds: HashMap<FlowId, FlowKind>,
+    programs: Vec<Option<Box<dyn RankProgram>>>,
+    finished: u32,
+    stats: WorldStats,
+    /// Hard cap on processed events (livelock guard).
+    pub max_events: u64,
+    /// Asynchronous progress (paper §7 future work): when enabled, each
+    /// rank has a dedicated progress thread — completion callbacks and
+    /// protocol actions no longer wait for application `compute` to
+    /// finish, so non-blocking collectives overlap with computation.
+    async_progress: bool,
+    /// Recorded events (empty unless tracing is enabled).
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl World {
+    /// Build a world over an explicit placement.
+    pub fn custom(spec: MachineSpec, placement: Placement, noise: ClusterNoise) -> World {
+        assert_eq!(
+            noise.len(),
+            placement.len() as usize,
+            "noise model must cover every rank"
+        );
+        let (fabric, links) = Fabric::build(&spec);
+        let nranks = placement.len() as usize;
+        World {
+            spec,
+            placement,
+            fabric,
+            net: Network::new(links),
+            noise,
+            queue: EventQueue::new(),
+            ranks: (0..nranks).map(|_| RankState::default()).collect(),
+            msgs: HashMap::new(),
+            next_msg: 0,
+            flow_kinds: HashMap::new(),
+            programs: Vec::new(),
+            finished: 0,
+            stats: WorldStats::default(),
+            max_events: 2_000_000_000,
+            async_progress: false,
+            trace: None,
+        }
+    }
+
+    /// Record a per-rank event timeline into
+    /// [`RunResult::trace`] (off by default — a large job produces
+    /// millions of events).
+    pub fn enable_trace(mut self) -> World {
+        self.trace = Some(Vec::new());
+        self
+    }
+
+    /// Enable asynchronous progress (a per-rank progress thread): protocol
+    /// actions and completion callbacks run concurrently with application
+    /// `compute`, which is how the paper's §7 envisions non-blocking
+    /// collectives overlapping computation. Noise still preempts both.
+    pub fn enable_async_progress(mut self) -> World {
+        self.async_progress = true;
+        self
+    }
+
+    /// CPU job: `nranks` ranks block-placed one per core.
+    pub fn cpu(spec: MachineSpec, nranks: u32, noise: ClusterNoise) -> World {
+        let placement = Placement::block_cpu(spec.shape, nranks);
+        World::custom(spec, placement, noise)
+    }
+
+    /// GPU job: `nranks` ranks block-placed one per GPU.
+    pub fn gpu(spec: MachineSpec, nranks: u32, noise: ClusterNoise) -> World {
+        let placement = Placement::block_gpu(spec.shape, nranks);
+        World::custom(spec, placement, noise)
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> u32 {
+        self.placement.len()
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Run the given per-rank programs to completion (every rank must
+    /// eventually call `finish`). Panics on deadlock — a queue that runs
+    /// dry with unfinished ranks indicates a broken algorithm, which tests
+    /// want loudly.
+    pub fn run(mut self, programs: Vec<Box<dyn RankProgram>>) -> RunResult {
+        assert_eq!(
+            programs.len(),
+            self.nranks() as usize,
+            "one program per rank"
+        );
+        self.programs = programs.into_iter().map(Some).collect();
+        for r in 0..self.nranks() {
+            self.queue.schedule(
+                Time::ZERO,
+                Ev::Rank {
+                    rank: r,
+                    item: RankItem::Start,
+                },
+            );
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            self.stats.events += 1;
+            assert!(
+                self.stats.events <= self.max_events,
+                "event cap exceeded: livelock?"
+            );
+            match ev {
+                Ev::Net(flow) => self.on_net_event(t, flow),
+                Ev::Rank { rank, item } => self.rank_step(t, rank, item),
+                Ev::Launch { kind, path, bytes } => {
+                    let mut sched = QueueSched(&mut self.queue);
+                    let flow = self.net.start_flow(
+                        t,
+                        FlowSpec {
+                            path,
+                            bytes,
+                            tag: 0,
+                        },
+                        &mut sched,
+                    );
+                    self.flow_kinds.insert(flow, kind);
+                }
+            }
+            if self.finished == self.nranks() {
+                break;
+            }
+        }
+
+        if self.finished != self.nranks() {
+            let stuck: Vec<u32> = (0..self.nranks())
+                .filter(|&r| self.ranks[r as usize].finished_at.is_none())
+                .collect();
+            let mut sample: Vec<String> = self
+                .msgs
+                .iter()
+                .take(8)
+                .map(|(id, m)| {
+                    format!(
+                        "msg{id}: {}->{} tag={} bytes={} recv_token={:?}",
+                        m.src,
+                        m.dst,
+                        m.tag,
+                        m.payload.len(),
+                        m.recv_token
+                    )
+                })
+                .collect();
+            sample.sort();
+            for &r in stuck.iter().take(4) {
+                let st = &self.ranks[r as usize];
+                eprintln!(
+                    "rank {r}: busy_until={:?} posted={:?} unexp_rts_tags={:?}",
+                    st.busy_until,
+                    st.posted.iter().map(|p| (p.src, p.tag)).collect::<Vec<_>>(),
+                    st.unexp_rts
+                        .iter()
+                        .map(|m| (self.msgs[m].src, self.msgs[m].tag))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            panic!(
+                "deadlock: {} of {} ranks never finished (e.g. ranks {:?}); \
+                 posted={}, unexpected_eager={}, unexpected_rts={}, in-flight msgs={}, \
+                 net flows={}, flow_kinds={}, sample msgs:\n  {}",
+                stuck.len(),
+                self.nranks(),
+                &stuck[..stuck.len().min(8)],
+                self.ranks.iter().map(|r| r.posted.len()).sum::<usize>(),
+                self.ranks
+                    .iter()
+                    .map(|r| r.unexp_eager.len())
+                    .sum::<usize>(),
+                self.ranks.iter().map(|r| r.unexp_rts.len()).sum::<usize>(),
+                self.msgs.len(),
+                self.net.active_flows(),
+                self.flow_kinds.len(),
+                sample.join("\n  "),
+            );
+        }
+
+        let per_rank_finish: Vec<Time> = self
+            .ranks
+            .iter()
+            .map(|r| r.finished_at.expect("finished rank has a time"))
+            .collect();
+        let per_rank_busy: Vec<Duration> = self.ranks.iter().map(|r| r.busy_accum).collect();
+        let makespan = per_rank_finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Time::ZERO)
+            .saturating_since(Time::ZERO);
+        self.stats.delivered_bytes = self.net.delivered_bytes();
+        let (refreshes, reschedules) = self.net.perf_counters();
+        self.stats.net_refreshes = refreshes;
+        self.stats.net_reschedules = reschedules;
+        let mut trace = self.trace.take().unwrap_or_default();
+        // Ops are recorded at their (possibly future) execution instants in
+        // processing order; sort so the timeline reads chronologically.
+        trace.sort_by_key(|e| e.time_ns);
+        RunResult {
+            makespan,
+            per_rank_finish,
+            per_rank_busy,
+            trace,
+            stats: self.stats,
+            programs: self
+                .programs
+                .into_iter()
+                .map(|p| p.expect("program"))
+                .collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Network event dispatch
+    // ------------------------------------------------------------------
+
+    fn on_net_event(&mut self, t: Time, flow: FlowId) {
+        let mut sched = QueueSched(&mut self.queue);
+        let step = self.net.handle_event(t, flow, &mut sched);
+        match step {
+            NetStep::Progress => {}
+            NetStep::Drained { flow, .. } => {
+                match *self.flow_kinds.get(&flow).expect("drain of unknown flow") {
+                    FlowKind::EagerData(m) | FlowKind::RndvData(m) => {
+                        let msg = &self.msgs[&m];
+                        let (src, token) = (msg.src, msg.send_token);
+                        self.queue.schedule(
+                            t,
+                            Ev::Rank {
+                                rank: src,
+                                item: RankItem::Deliver(Completion::SendDone { token }),
+                            },
+                        );
+                    }
+                    FlowKind::Copy { .. } => {}
+                    FlowKind::Rts(_) | FlowKind::Cts(_) => {
+                        unreachable!("control flows are zero-byte and never drain")
+                    }
+                }
+            }
+            NetStep::Delivered(d) => {
+                let kind = self
+                    .flow_kinds
+                    .remove(&d.flow)
+                    .expect("delivery of unknown flow");
+                let (rank, item) = match kind {
+                    FlowKind::Rts(m) => (self.msgs[&m].dst, RankItem::RtsArrived(m)),
+                    FlowKind::Cts(m) => (self.msgs[&m].src, RankItem::CtsArrived(m)),
+                    FlowKind::EagerData(m) => (self.msgs[&m].dst, RankItem::EagerArrived(m)),
+                    FlowKind::RndvData(m) => (self.msgs[&m].dst, RankItem::RndvDataArrived(m)),
+                    FlowKind::Copy { rank, token } => {
+                        (rank, RankItem::Deliver(Completion::CopyDone { token }))
+                    }
+                };
+                self.queue.schedule(t, Ev::Rank { rank, item });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rank CPU steps (deferred by busy horizon and noise)
+    // ------------------------------------------------------------------
+
+    fn rank_step(&mut self, t: Time, rank: Rank, item: RankItem) {
+        if self.ranks[rank as usize].finished_at.is_some() {
+            return; // stray events after finish are dropped
+        }
+
+        // Arrival matching happens at arrival time: "unexpected" means the
+        // receive had not been *posted* when the data landed (§2.2.1), not
+        // that the CPU was momentarily busy. The CPU-side consequences
+        // (CTS, copies, callbacks) still honour the busy horizon and noise.
+        match item {
+            RankItem::EagerArrived(m) => {
+                let (src, tag) = {
+                    let msg = &self.msgs[&m];
+                    (msg.src, msg.tag)
+                };
+                let state = &mut self.ranks[rank as usize];
+                if let Some(pos) = state
+                    .posted
+                    .iter()
+                    .position(|p| p.src == src && crate::program::tag_matches(p.tag, tag))
+                {
+                    let posted = state.posted.remove(pos);
+                    self.complete_recv(t, rank, m, posted.token);
+                } else {
+                    state.unexp_eager.push(m);
+                    let e = self.cpu_ready(rank, t);
+                    self.bump_busy(rank, e, CTRL_OVERHEAD);
+                }
+                return;
+            }
+            RankItem::RtsArrived(m) => {
+                let (src, tag) = {
+                    let msg = &self.msgs[&m];
+                    (msg.src, msg.tag)
+                };
+                let state = &mut self.ranks[rank as usize];
+                if let Some(pos) = state
+                    .posted
+                    .iter()
+                    .position(|p| p.src == src && crate::program::tag_matches(p.tag, tag))
+                {
+                    let posted = state.posted.remove(pos);
+                    let e = self.cpu_ready(rank, t);
+                    self.accept_rndv(e, rank, m, posted);
+                } else {
+                    state.unexp_rts.push(m);
+                    let e = self.cpu_ready(rank, t);
+                    self.bump_busy(rank, e, CTRL_OVERHEAD);
+                }
+                return;
+            }
+            RankItem::RndvDataArrived(m) => {
+                let token = self.msgs[&m].recv_token.expect("rendezvous was matched");
+                self.complete_recv(t, rank, m, token);
+                return;
+            }
+            _ => {}
+        }
+
+        let ready = self.cpu_ready(rank, t);
+        if ready > t {
+            self.queue.schedule(ready, Ev::Rank { rank, item });
+            return;
+        }
+
+        match item {
+            RankItem::Start => self.run_handler(rank, t, None),
+            RankItem::Deliver(c) => self.run_handler(rank, t, Some(c)),
+            RankItem::CtsArrived(m) => {
+                // Sender side: launch the data flow.
+                let (path, bytes) = {
+                    let msg = &self.msgs[&m];
+                    let src_core = self.core_of(msg.src);
+                    let dst_core = self.core_of(msg.dst);
+                    (
+                        self.fabric.route_p2p(
+                            msg.src_mem,
+                            msg.dst_mem,
+                            Some(src_core),
+                            Some(dst_core),
+                        ),
+                        msg.payload.len(),
+                    )
+                };
+                let at = self.bump_busy(rank, t, CTRL_OVERHEAD);
+                self.queue.schedule(
+                    at,
+                    Ev::Launch {
+                        kind: FlowKind::RndvData(m),
+                        path,
+                        bytes,
+                    },
+                );
+            }
+            RankItem::EagerArrived(_) | RankItem::RtsArrived(_) | RankItem::RndvDataArrived(_) => {
+                unreachable!("handled above")
+            }
+        }
+    }
+
+    /// Global core index of a rank (for the per-core copy-engine lanes).
+    fn core_of(&self, rank: Rank) -> u32 {
+        let loc = self.placement.location(rank);
+        self.fabric.global_core(loc.node, loc.socket, loc.core)
+    }
+
+    /// First instant at or after `t` at which `rank`'s CPU serving the
+    /// progress engine is free and not preempted. With asynchronous
+    /// progress the dedicated progress thread's horizon applies; otherwise
+    /// the single application CPU must also be past its compute.
+    fn cpu_ready(&mut self, rank: Rank, t: Time) -> Time {
+        let state = &self.ranks[rank as usize];
+        let busy = if self.async_progress {
+            state.prog_busy_until
+        } else {
+            state.busy_until
+        };
+        self.noise.defer(rank, t.max(busy))
+    }
+
+    /// Receiver accepted a rendezvous: record the landing space and send CTS.
+    fn accept_rndv(&mut self, t: Time, rank: Rank, m: MsgId, posted: PostedRecv) {
+        self.stats.rendezvous += 1;
+        let cts_path = {
+            let msg = self.msgs.get_mut(&m).expect("msg");
+            msg.dst_mem = posted.mem;
+            msg.recv_token = Some(posted.token);
+            // Control messages travel host-to-host.
+            self.fabric.route(
+                self.placement.host_mem(msg.dst),
+                self.placement.host_mem(msg.src),
+            )
+        };
+        let at = self.bump_busy(rank, t, CTRL_OVERHEAD);
+        self.queue.schedule(
+            at,
+            Ev::Launch {
+                kind: FlowKind::Cts(m),
+                path: cts_path,
+                bytes: 0,
+            },
+        );
+    }
+
+    /// Deliver a RecvDone completion for message `m` to `rank`.
+    fn complete_recv(&mut self, t: Time, rank: Rank, m: MsgId, token: Token) {
+        let msg = self.msgs.remove(&m).expect("msg");
+        self.queue.schedule(
+            t,
+            Ev::Rank {
+                rank,
+                item: RankItem::Deliver(Completion::RecvDone {
+                    token,
+                    src: msg.src,
+                    tag: msg.tag,
+                    data: msg.payload,
+                }),
+            },
+        );
+    }
+
+    /// Extend a rank's (progress) busy horizon by `work` starting at `t`;
+    /// returns the completion instant.
+    fn bump_busy(&mut self, rank: Rank, t: Time, work: Duration) -> Time {
+        let done = self.noise.finish_work(rank, t, work);
+        let state = &mut self.ranks[rank as usize];
+        if self.async_progress {
+            state.prog_busy_until = done;
+        } else {
+            state.busy_until = done;
+        }
+        state.busy_accum += work;
+        done
+    }
+
+    // ------------------------------------------------------------------
+    // Program handlers and op application
+    // ------------------------------------------------------------------
+
+    fn run_handler(&mut self, rank: Rank, t: Time, completion: Option<Completion>) {
+        if self.trace.is_some() {
+            match &completion {
+                Some(Completion::RecvDone { src, data, .. }) => {
+                    self.record(t, rank, TraceKind::RecvDone, *src, data.len());
+                }
+                Some(Completion::SendDone { .. }) => {
+                    self.record(t, rank, TraceKind::SendDone, 0, 0);
+                }
+                _ => {}
+            }
+        }
+        let base_cost = match &completion {
+            Some(Completion::RecvDone { .. }) => self.spec.recv_overhead,
+            Some(_) => PROGRESS_OVERHEAD,
+            None => PROGRESS_OVERHEAD,
+        };
+        let mut prog = self.programs[rank as usize]
+            .take()
+            .expect("program present");
+        let ops = {
+            let mut sink = OpSink {
+                rank,
+                nranks: self.nranks(),
+                now: t,
+                placement: &self.placement,
+                spec: &self.spec,
+                ops: Vec::new(),
+            };
+            match completion {
+                None => prog.on_start(&mut sink),
+                Some(c) => prog.on_completion(&mut sink, c),
+            }
+            sink.ops
+        };
+        self.programs[rank as usize] = Some(prog);
+        self.apply_ops(rank, t, base_cost, ops);
+    }
+
+    #[inline]
+    fn record(&mut self, t: Time, rank: Rank, kind: TraceKind, peer: Rank, amount: u64) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time_ns: t.as_nanos(),
+                rank,
+                kind,
+                peer,
+                amount,
+            });
+        }
+    }
+
+    fn apply_ops(&mut self, rank: Rank, t: Time, base_cost: Duration, ops: Vec<Op>) {
+        let mut cost = base_cost;
+        for op in ops {
+            match op {
+                Op::Isend {
+                    dst,
+                    tag,
+                    payload,
+                    token,
+                    src_mem,
+                } => {
+                    cost += self.spec.send_overhead;
+                    let at = self.noise.finish_work(rank, t, cost);
+                    self.record(at, rank, TraceKind::SendPosted, dst, payload.len());
+                    self.start_send(at, rank, dst, tag, payload, token, src_mem);
+                }
+                Op::Irecv {
+                    src,
+                    tag,
+                    token,
+                    dst_mem,
+                } => {
+                    cost += CTRL_OVERHEAD;
+                    let at = self.noise.finish_work(rank, t, cost);
+                    self.record(at, rank, TraceKind::RecvPosted, src, 0);
+                    let extra = self.post_recv(at, rank, src, tag, token, dst_mem);
+                    cost += extra;
+                }
+                Op::Compute { work, token } => {
+                    if self.async_progress {
+                        // Application compute runs on the main thread,
+                        // serialized with earlier compute but not with the
+                        // progress engine.
+                        let posted = self.noise.finish_work(rank, t, cost);
+                        let start = posted.max(self.ranks[rank as usize].busy_until);
+                        let done = self.noise.finish_work(rank, start, work);
+                        let state = &mut self.ranks[rank as usize];
+                        state.busy_until = done;
+                        state.busy_accum += work;
+                        self.queue.schedule(
+                            done,
+                            Ev::Rank {
+                                rank,
+                                item: RankItem::Deliver(Completion::ComputeDone { token }),
+                            },
+                        );
+                    } else {
+                        cost += work;
+                        let at = self.noise.finish_work(rank, t, cost);
+                        self.queue.schedule(
+                            at,
+                            Ev::Rank {
+                                rank,
+                                item: RankItem::Deliver(Completion::ComputeDone { token }),
+                            },
+                        );
+                    }
+                }
+                Op::GpuReduce { bytes, token } => {
+                    cost += CTRL_OVERHEAD;
+                    let enq = self.noise.finish_work(rank, t, cost);
+                    assert!(
+                        self.spec.gpu_reduce_bandwidth > 0.0,
+                        "gpu_reduce on a machine without GPUs"
+                    );
+                    let state = &mut self.ranks[rank as usize];
+                    let start = state.gpu_stream_busy.max(enq);
+                    let done = start
+                        + Duration::from_secs_f64(bytes as f64 / self.spec.gpu_reduce_bandwidth);
+                    state.gpu_stream_busy = done;
+                    self.queue.schedule(
+                        done,
+                        Ev::Rank {
+                            rank,
+                            item: RankItem::Deliver(Completion::GpuDone { token }),
+                        },
+                    );
+                }
+                Op::Copy {
+                    from,
+                    to,
+                    bytes,
+                    token,
+                } => {
+                    cost += CTRL_OVERHEAD;
+                    let at = self.noise.finish_work(rank, t, cost);
+                    let path = self.fabric.route(from, to);
+                    self.queue.schedule(
+                        at,
+                        Ev::Launch {
+                            kind: FlowKind::Copy { rank, token },
+                            path,
+                            bytes,
+                        },
+                    );
+                }
+                Op::Finish => {
+                    let at = self.noise.finish_work(rank, t, cost);
+                    self.record(at, rank, TraceKind::Finish, 0, 0);
+                    let state = &mut self.ranks[rank as usize];
+                    if state.finished_at.is_none() {
+                        state.finished_at = Some(at);
+                        self.finished += 1;
+                    }
+                }
+            }
+        }
+        let done = self.noise.finish_work(rank, t, cost);
+        let state = &mut self.ranks[rank as usize];
+        if self.async_progress {
+            state.prog_busy_until = state.prog_busy_until.max(done);
+        } else {
+            state.busy_until = state.busy_until.max(done);
+        }
+        state.busy_accum += cost;
+    }
+
+    #[allow(clippy::too_many_arguments)] // the MPI send signature is what it is
+    fn start_send(
+        &mut self,
+        at: Time,
+        src: Rank,
+        dst: Rank,
+        tag: Tag,
+        payload: Payload,
+        token: Token,
+        src_mem: Option<MemSpace>,
+    ) {
+        if std::env::var_os("ADAPT_TRACE").is_some() {
+            eprintln!(
+                "[{at:?}] isend {src}->{dst} tag={tag} bytes={}",
+                payload.len()
+            );
+        }
+        self.stats.messages += 1;
+        let src_mem = src_mem.unwrap_or_else(|| self.placement.default_mem(src));
+        let dst_mem = self.placement.default_mem(dst);
+        let bytes = payload.len();
+        let m = self.next_msg;
+        self.next_msg += 1;
+        self.msgs.insert(
+            m,
+            Msg {
+                src,
+                dst,
+                tag,
+                payload,
+                send_token: token,
+                src_mem,
+                dst_mem,
+                recv_token: None,
+            },
+        );
+        if bytes <= self.spec.eager_limit {
+            // Eager: data goes out now, landing in the receiver's default
+            // space.
+            let path = self.fabric.route_p2p(
+                src_mem,
+                dst_mem,
+                Some(self.core_of(src)),
+                Some(self.core_of(dst)),
+            );
+            self.queue.schedule(
+                at,
+                Ev::Launch {
+                    kind: FlowKind::EagerData(m),
+                    path,
+                    bytes,
+                },
+            );
+            if bytes == 0 {
+                // Zero-byte sends complete locally right away.
+                self.queue.schedule(
+                    at,
+                    Ev::Rank {
+                        rank: src,
+                        item: RankItem::Deliver(Completion::SendDone { token }),
+                    },
+                );
+            }
+        } else {
+            // Rendezvous: RTS control message first.
+            let path = self
+                .fabric
+                .route(self.placement.host_mem(src), self.placement.host_mem(dst));
+            self.queue.schedule(
+                at,
+                Ev::Launch {
+                    kind: FlowKind::Rts(m),
+                    path,
+                    bytes: 0,
+                },
+            );
+        }
+    }
+
+    /// Post a receive at time `at`; returns extra CPU cost incurred by an
+    /// unexpected-queue match.
+    fn post_recv(
+        &mut self,
+        at: Time,
+        rank: Rank,
+        src: Rank,
+        tag: Tag,
+        token: Token,
+        dst_mem: Option<MemSpace>,
+    ) -> Duration {
+        let mem = dst_mem.unwrap_or_else(|| self.placement.default_mem(rank));
+        // Unexpected eager data first (MPI matching order).
+        if let Some(pos) = self.ranks[rank as usize].unexp_eager.iter().position(|&m| {
+            let msg = &self.msgs[&m];
+            msg.src == src && crate::program::tag_matches(tag, msg.tag)
+        }) {
+            let m = self.ranks[rank as usize].unexp_eager.remove(pos);
+            self.stats.unexpected_matches += 1;
+            let bytes = self.msgs[&m].payload.len();
+            let copy_cost = self.spec.unexpected_overhead
+                + Duration::from_secs_f64(bytes as f64 / self.spec.unexpected_copy_bandwidth);
+            // RecvDone is scheduled at the post instant; busy-horizon
+            // deferral makes it fire after the copy cost elapses.
+            let done = self.noise.finish_work(rank, at, copy_cost);
+            self.complete_recv(done, rank, m, token);
+            return copy_cost;
+        }
+        // Pending rendezvous next.
+        if let Some(pos) = self.ranks[rank as usize].unexp_rts.iter().position(|&m| {
+            let msg = &self.msgs[&m];
+            msg.src == src && crate::program::tag_matches(tag, msg.tag)
+        }) {
+            let m = self.ranks[rank as usize].unexp_rts.remove(pos);
+            let posted = PostedRecv {
+                src,
+                tag,
+                token,
+                mem,
+            };
+            self.accept_rndv(at, rank, m, posted);
+            return CTRL_OVERHEAD;
+        }
+        self.ranks[rank as usize].posted.push(PostedRecv {
+            src,
+            tag,
+            token,
+            mem,
+        });
+        Duration::ZERO
+    }
+}

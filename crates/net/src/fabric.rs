@@ -1,0 +1,516 @@
+//! Fabric construction and routing.
+//!
+//! Materializes a [`MachineSpec`] into the link set of a
+//! [`Network`](crate::flow::Network) and answers routing queries: which
+//! links does a transfer between two memory spaces traverse?
+//!
+//! Lane inventory (one [`Link`] each):
+//! - per global socket: a shared-memory pipe;
+//! - per node: an inter-socket bus (QPI/UPI);
+//! - per node: NIC transmit and NIC receive;
+//! - optional: one fabric backbone;
+//! - on GPU machines, per global socket: PCIe up (device→host direction)
+//!   and PCIe down (host→device).
+//!
+//! Inter-node GPU transfers are expressed by the *caller's choice of memory
+//! spaces*: GPUDirect is a Device→Device route through NIC and PCIe;
+//! staging through host memory is a Device→Host copy followed by
+//! Host→Host/Host→Device sends (§4.1).
+
+use crate::links::{Link, LinkClass, LinkId, Path};
+use adapt_topology::{MachineSpec, MemSpace};
+
+/// Link-id layout and routing for one machine.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    sockets_total: u32,
+    nodes: u32,
+    cores_per_socket: u32,
+    has_backbone: bool,
+    has_pcie: bool,
+    has_nvlink: bool,
+}
+
+impl Fabric {
+    /// Build the link table for `spec`. Returns the fabric (routing oracle)
+    /// and the links to construct the network engine with.
+    pub fn build(spec: &MachineSpec) -> (Fabric, Vec<Link>) {
+        let nodes = spec.shape.nodes;
+        let sockets_total = nodes * spec.shape.sockets_per_node;
+        let mut links = Vec::new();
+        for s in 0..sockets_total {
+            links.push(Link {
+                class: LinkClass::Shm(s),
+                capacity: spec.shm.bandwidth,
+                latency: spec.shm.latency,
+            });
+        }
+        for n in 0..nodes {
+            links.push(Link {
+                class: LinkClass::InterSocket(n),
+                capacity: spec.inter_socket.bandwidth,
+                latency: spec.inter_socket.latency,
+            });
+        }
+        for n in 0..nodes {
+            links.push(Link {
+                class: LinkClass::NicTx(n),
+                capacity: spec.nic.bandwidth,
+                latency: spec.nic.latency,
+            });
+        }
+        for n in 0..nodes {
+            links.push(Link {
+                class: LinkClass::NicRx(n),
+                capacity: spec.nic.bandwidth,
+                latency: spec.nic.latency,
+            });
+        }
+        let has_backbone = spec.backbone.is_some();
+        if let Some(bb) = spec.backbone {
+            links.push(Link {
+                class: LinkClass::Backbone,
+                capacity: bb.bandwidth,
+                latency: bb.latency,
+            });
+        }
+        let has_pcie = spec.pcie.is_some();
+        if let Some(pcie) = spec.pcie {
+            for s in 0..sockets_total {
+                links.push(Link {
+                    class: LinkClass::PcieUp(s),
+                    capacity: pcie.bandwidth,
+                    latency: pcie.latency,
+                });
+            }
+            for s in 0..sockets_total {
+                links.push(Link {
+                    class: LinkClass::PcieDown(s),
+                    capacity: pcie.bandwidth,
+                    latency: pcie.latency,
+                });
+            }
+        }
+        let has_nvlink = spec.nvlink.is_some();
+        if let Some(nv) = spec.nvlink {
+            for s in 0..sockets_total {
+                links.push(Link {
+                    class: LinkClass::NvLink(s),
+                    capacity: nv.bandwidth,
+                    latency: nv.latency,
+                });
+            }
+        }
+        let cores_total = sockets_total * spec.shape.cores_per_socket;
+        for c in 0..cores_total {
+            links.push(Link {
+                class: LinkClass::CoreTx(c),
+                capacity: spec.core.bandwidth,
+                latency: spec.core.latency,
+            });
+        }
+        for c in 0..cores_total {
+            links.push(Link {
+                class: LinkClass::CoreRx(c),
+                capacity: spec.core.bandwidth,
+                latency: spec.core.latency,
+            });
+        }
+        (
+            Fabric {
+                sockets_total,
+                nodes,
+                cores_per_socket: spec.shape.cores_per_socket,
+                has_backbone,
+                has_pcie,
+                has_nvlink,
+            },
+            links,
+        )
+    }
+
+    fn gsock(&self, node: u32, socket: u32) -> u32 {
+        node * (self.sockets_total / self.nodes) + socket
+    }
+
+    /// Link id of a socket's shared-memory pipe.
+    pub fn shm(&self, node: u32, socket: u32) -> LinkId {
+        LinkId(self.gsock(node, socket))
+    }
+
+    /// Link id of a node's inter-socket bus.
+    pub fn inter_socket(&self, node: u32) -> LinkId {
+        LinkId(self.sockets_total + node)
+    }
+
+    /// Link id of a node's NIC transmit side.
+    pub fn nic_tx(&self, node: u32) -> LinkId {
+        LinkId(self.sockets_total + self.nodes + node)
+    }
+
+    /// Link id of a node's NIC receive side.
+    pub fn nic_rx(&self, node: u32) -> LinkId {
+        LinkId(self.sockets_total + 2 * self.nodes + node)
+    }
+
+    /// Link id of the backbone, when the machine has one.
+    pub fn backbone(&self) -> Option<LinkId> {
+        self.has_backbone
+            .then(|| LinkId(self.sockets_total + 3 * self.nodes))
+    }
+
+    fn pcie_base(&self) -> u32 {
+        self.sockets_total + 3 * self.nodes + u32::from(self.has_backbone)
+    }
+
+    /// Link id of a socket's device→host PCIe direction.
+    pub fn pcie_up(&self, node: u32, socket: u32) -> LinkId {
+        assert!(self.has_pcie, "machine has no PCIe lanes");
+        LinkId(self.pcie_base() + self.gsock(node, socket))
+    }
+
+    /// Link id of a socket's host→device PCIe direction.
+    pub fn pcie_down(&self, node: u32, socket: u32) -> LinkId {
+        assert!(self.has_pcie, "machine has no PCIe lanes");
+        LinkId(self.pcie_base() + self.sockets_total + self.gsock(node, socket))
+    }
+
+    fn nvlink_base(&self) -> u32 {
+        self.pcie_base()
+            + if self.has_pcie {
+                2 * self.sockets_total
+            } else {
+                0
+            }
+    }
+
+    /// Link id of a socket's NVLink peer lane, when the machine has one.
+    pub fn nvlink(&self, node: u32, socket: u32) -> Option<LinkId> {
+        self.has_nvlink
+            .then(|| LinkId(self.nvlink_base() + self.gsock(node, socket)))
+    }
+
+    fn core_base(&self) -> u32 {
+        self.nvlink_base()
+            + if self.has_nvlink {
+                self.sockets_total
+            } else {
+                0
+            }
+    }
+
+    /// Global core index of `(node, socket, core)`.
+    pub fn global_core(&self, node: u32, socket: u32, core: u32) -> u32 {
+        self.gsock(node, socket) * self.cores_per_socket + core
+    }
+
+    /// Link id of a core's egress copy engine.
+    pub fn core_tx(&self, global_core: u32) -> LinkId {
+        LinkId(self.core_base() + global_core)
+    }
+
+    /// Link id of a core's ingress copy engine.
+    pub fn core_rx(&self, global_core: u32) -> LinkId {
+        LinkId(self.core_base() + self.sockets_total * self.cores_per_socket + global_core)
+    }
+
+    /// Route a point-to-point transfer, accounting for the CPU cores that
+    /// move the bytes. Intra-node host-to-host transfers are memcpys
+    /// executed by the endpoint cores, so the sender's egress engine and
+    /// the receiver's ingress engine join the path; cores are full duplex
+    /// (tx and rx are separate lanes), which is what lets a pipelined rank
+    /// overlap its receive of segment `i+1` with its send of segment `i`.
+    /// Inter-node and device transfers are DMA (RDMA NICs, cudaMemcpy
+    /// engines) and bypass the cores.
+    pub fn route_p2p(
+        &self,
+        src: MemSpace,
+        dst: MemSpace,
+        src_core: Option<u32>,
+        dst_core: Option<u32>,
+    ) -> Path {
+        let intra_node_host = matches!(
+            (src, dst),
+            (MemSpace::Host { node: a, .. }, MemSpace::Host { node: b, .. }) if a == b
+        );
+        if !intra_node_host {
+            return self.route(src, dst);
+        }
+        let inner = self.route(src, dst);
+        let mut p = Path::EMPTY;
+        if let Some(c) = src_core {
+            p.push(self.core_tx(c));
+        }
+        for l in &inner {
+            p.push(l);
+        }
+        if let Some(c) = dst_core {
+            p.push(self.core_rx(c));
+        }
+        p
+    }
+
+    /// The links a transfer from `src` to `dst` traverses, in order.
+    ///
+    /// Two ranks on the same socket still cross that socket's shm pipe; the
+    /// only empty route is device memory to itself (the engine delivers such
+    /// transfers immediately; callers model any memcpy cost as compute).
+    pub fn route(&self, src: MemSpace, dst: MemSpace) -> Path {
+        use MemSpace::*;
+        let mut p = Path::EMPTY;
+        match (src, dst) {
+            (
+                Host {
+                    node: a,
+                    socket: sa,
+                },
+                Host {
+                    node: b,
+                    socket: sb,
+                },
+            ) => {
+                if a == b {
+                    if sa == sb {
+                        p.push(self.shm(a, sa));
+                    } else {
+                        p.push(self.inter_socket(a));
+                    }
+                } else {
+                    p.push(self.nic_tx(a));
+                    if let Some(bb) = self.backbone() {
+                        p.push(bb);
+                    }
+                    p.push(self.nic_rx(b));
+                }
+            }
+            (
+                Device {
+                    node: a,
+                    socket: sa,
+                    ..
+                },
+                Host {
+                    node: b,
+                    socket: sb,
+                },
+            ) => {
+                p.push(self.pcie_up(a, sa));
+                if a == b {
+                    if sa != sb {
+                        p.push(self.inter_socket(a));
+                    }
+                } else {
+                    p.push(self.nic_tx(a));
+                    if let Some(bb) = self.backbone() {
+                        p.push(bb);
+                    }
+                    p.push(self.nic_rx(b));
+                }
+            }
+            (
+                Host {
+                    node: a,
+                    socket: sa,
+                },
+                Device {
+                    node: b,
+                    socket: sb,
+                    ..
+                },
+            ) => {
+                if a == b {
+                    if sa != sb {
+                        p.push(self.inter_socket(a));
+                    }
+                } else {
+                    p.push(self.nic_tx(a));
+                    if let Some(bb) = self.backbone() {
+                        p.push(bb);
+                    }
+                    p.push(self.nic_rx(b));
+                }
+                p.push(self.pcie_down(b, sb));
+            }
+            (
+                Device {
+                    node: a,
+                    socket: sa,
+                    gpu: ga,
+                },
+                Device {
+                    node: b,
+                    socket: sb,
+                    gpu: gb,
+                },
+            ) => {
+                if a == b && sa == sb {
+                    if ga == gb {
+                        return Path::EMPTY;
+                    }
+                    if let Some(nv) = self.nvlink(a, sa) {
+                        // NVLink peer traffic bypasses the PCIe switch.
+                        p.push(nv);
+                    } else {
+                        // CUDA IPC peer copy through the socket's PCIe
+                        // switch: occupies both directions of that switch.
+                        p.push(self.pcie_up(a, sa));
+                        p.push(self.pcie_down(a, sa));
+                    }
+                } else if a == b {
+                    // Inter-socket GPU transfer goes through CPU memory
+                    // (§4: "we assume inter-socket communications go
+                    // through CPU memory").
+                    p.push(self.pcie_up(a, sa));
+                    p.push(self.inter_socket(a));
+                    p.push(self.pcie_down(a, sb));
+                } else {
+                    // GPUDirect RDMA: device → NIC → device.
+                    p.push(self.pcie_up(a, sa));
+                    p.push(self.nic_tx(a));
+                    if let Some(bb) = self.backbone() {
+                        p.push(bb);
+                    }
+                    p.push(self.nic_rx(b));
+                    p.push(self.pcie_down(b, sb));
+                }
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_topology::profiles;
+
+    #[test]
+    fn cpu_fabric_link_count() {
+        let spec = profiles::minicluster(4, 2, 4);
+        let (_, links) = Fabric::build(&spec);
+        // 8 shm + 4 qpi + 4 tx + 4 rx + 32 core_tx + 32 core_rx = 84.
+        assert_eq!(links.len(), 84);
+    }
+
+    #[test]
+    fn gpu_fabric_link_count() {
+        let spec = profiles::psg(2);
+        let (_, links) = Fabric::build(&spec);
+        // 4 shm + 2 qpi + 2 tx + 2 rx + 4 up + 4 down + 40 ctx + 40 crx = 98.
+        assert_eq!(links.len(), 98);
+    }
+
+    #[test]
+    fn link_ids_match_classes() {
+        let spec = profiles::psg(2);
+        let (f, links) = Fabric::build(&spec);
+        assert_eq!(links[f.shm(1, 1).0 as usize].class, LinkClass::Shm(3));
+        assert_eq!(
+            links[f.inter_socket(1).0 as usize].class,
+            LinkClass::InterSocket(1)
+        );
+        assert_eq!(links[f.nic_tx(0).0 as usize].class, LinkClass::NicTx(0));
+        assert_eq!(links[f.nic_rx(1).0 as usize].class, LinkClass::NicRx(1));
+        assert_eq!(
+            links[f.pcie_up(1, 0).0 as usize].class,
+            LinkClass::PcieUp(2)
+        );
+        assert_eq!(
+            links[f.pcie_down(0, 1).0 as usize].class,
+            LinkClass::PcieDown(1)
+        );
+        // Core lanes: node 1 socket 0 core 3 of the 10-core PSG sockets.
+        let gc = f.global_core(1, 0, 3);
+        assert_eq!(gc, 23);
+        assert_eq!(links[f.core_tx(gc).0 as usize].class, LinkClass::CoreTx(23));
+        assert_eq!(links[f.core_rx(gc).0 as usize].class, LinkClass::CoreRx(23));
+    }
+
+    #[test]
+    fn nvlink_routes_bypass_pcie() {
+        let spec = profiles::nvlink_cluster(2);
+        let (f, links) = Fabric::build(&spec);
+        let d = |node, socket, gpu| MemSpace::Device { node, socket, gpu };
+        // Same-socket peers ride NVLink.
+        let p = f.route(d(0, 0, 0), d(0, 0, 1));
+        assert_eq!(p.as_slice(), &[f.nvlink(0, 0).unwrap()]);
+        assert_eq!(
+            links[f.nvlink(1, 1).unwrap().0 as usize].class,
+            LinkClass::NvLink(3)
+        );
+        // Cross-socket still goes through host memory.
+        let p = f.route(d(0, 0, 0), d(0, 1, 0));
+        assert_eq!(
+            p.as_slice(),
+            &[f.pcie_up(0, 0), f.inter_socket(0), f.pcie_down(0, 1)]
+        );
+        // PSG (no NVLink) keeps the PCIe pair.
+        let (f2, _) = Fabric::build(&profiles::psg(2));
+        assert!(f2.nvlink(0, 0).is_none());
+        let p = f2.route(d(0, 0, 0), d(0, 0, 1));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn route_p2p_adds_core_engines_for_host_endpoints() {
+        let spec = profiles::minicluster(2, 2, 4);
+        let (f, _) = Fabric::build(&spec);
+        let h = |node, socket| MemSpace::Host { node, socket };
+        // Intra-socket pair, cores 1 and 2 of node 0 socket 0.
+        let p = f.route_p2p(h(0, 0), h(0, 0), Some(1), Some(2));
+        assert_eq!(p.as_slice(), &[f.core_tx(1), f.shm(0, 0), f.core_rx(2)]);
+        // Inter-node transfers are RDMA: no core engines.
+        let p = f.route_p2p(h(0, 0), h(1, 1), Some(0), Some(15));
+        assert_eq!(p.as_slice(), &[f.nic_tx(0), f.nic_rx(1)]);
+        // Without cores the plain route is returned.
+        let p = f.route_p2p(h(0, 0), h(0, 1), None, None);
+        assert_eq!(p.as_slice(), &[f.inter_socket(0)]);
+    }
+
+    #[test]
+    fn host_routes() {
+        let spec = profiles::minicluster(2, 2, 4);
+        let (f, _) = Fabric::build(&spec);
+        let h = |node, socket| MemSpace::Host { node, socket };
+        // Two ranks on the same socket still cross the shm pipe.
+        assert_eq!(f.route(h(0, 0), h(0, 0)).as_slice(), &[f.shm(0, 0)]);
+        assert_eq!(f.route(h(0, 0), h(0, 1)).as_slice(), &[f.inter_socket(0)]);
+        assert_eq!(f.route(h(0, 1), h(0, 1)).as_slice(), &[f.shm(0, 1)]);
+        assert_eq!(
+            f.route(h(0, 0), h(1, 1)).as_slice(),
+            &[f.nic_tx(0), f.nic_rx(1)]
+        );
+    }
+
+    #[test]
+    fn gpu_routes() {
+        let spec = profiles::psg(2);
+        let (f, _) = Fabric::build(&spec);
+        let d = |node, socket, gpu| MemSpace::Device { node, socket, gpu };
+        let h = |node, socket| MemSpace::Host { node, socket };
+        // IPC same socket: both PCIe directions of that socket.
+        assert_eq!(
+            f.route(d(0, 0, 0), d(0, 0, 1)).as_slice(),
+            &[f.pcie_up(0, 0), f.pcie_down(0, 0)]
+        );
+        // Inter-socket through CPU memory.
+        assert_eq!(
+            f.route(d(0, 0, 0), d(0, 1, 0)).as_slice(),
+            &[f.pcie_up(0, 0), f.inter_socket(0), f.pcie_down(0, 1)]
+        );
+        // GPUDirect inter-node.
+        assert_eq!(
+            f.route(d(0, 0, 0), d(1, 1, 1)).as_slice(),
+            &[f.pcie_up(0, 0), f.nic_tx(0), f.nic_rx(1), f.pcie_down(1, 1)]
+        );
+        // Device to local host: one PCIe up.
+        assert_eq!(f.route(d(0, 0, 0), h(0, 0)).as_slice(), &[f.pcie_up(0, 0)]);
+        // Host to remote device: NIC then PCIe down (no source PCIe).
+        assert_eq!(
+            f.route(h(0, 0), d(1, 0, 0)).as_slice(),
+            &[f.nic_tx(0), f.nic_rx(1), f.pcie_down(1, 0)]
+        );
+        // Same device: local.
+        assert_eq!(f.route(d(0, 0, 0), d(0, 0, 0)), Path::EMPTY);
+    }
+}

@@ -1,0 +1,732 @@
+//! Flow-level network simulation with per-link fair bandwidth sharing.
+//!
+//! Every in-flight message is a *flow* over a path of links. Each link's
+//! capacity is shared equally among the flows crossing it (processor
+//! sharing), and a flow drains at the minimum share along its path:
+//!
+//! ```text
+//! rate(f) = min over links l of f:  capacity(l) / active_flows(l)
+//! ```
+//!
+//! This is the classic equal-share approximation of max-min fairness. It
+//! is *local*: a flow entering or leaving only perturbs flows that share
+//! one of its links, which keeps the engine O(affected flows) per event —
+//! essential for thousand-rank collectives with tens of thousands of
+//! concurrent flows — while still producing the congestion effects the
+//! ADAPT paper reasons about (three flows on one PCIe direction each see a
+//! third of its bandwidth, §4.1; heterogeneous lanes progress
+//! independently, §3.2.2).
+//!
+//! Each flow passes through two phases:
+//!
+//! 1. **Draining** — its bytes leave the sender at the allotted rate; a
+//!    *drain* event fires when the last byte is injected, at which point
+//!    the flow stops consuming link capacity.
+//! 2. **Latency tail** — the path's propagation latency elapses; a
+//!    *delivery* event fires and the owner is handed the flow's tag.
+//!
+//! The engine does not own the event queue (the MPI runtime does); it
+//! talks to it through [`FlowScheduler`], so flows, rank events, and noise
+//! share one deterministic timeline.
+
+use crate::links::{Link, Path};
+use adapt_sim::queue::EventKey;
+use adapt_sim::time::{Duration, Time};
+
+/// Identifier of an in-flight flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// How the owner's event queue is driven by the network engine.
+pub trait FlowScheduler {
+    /// Schedule a network event for `flow` at `at`; return a cancellable key.
+    fn schedule(&mut self, at: Time, flow: FlowId) -> EventKey;
+    /// Cancel a previously scheduled network event.
+    fn cancel(&mut self, key: EventKey);
+}
+
+/// Description of a new flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Links the flow traverses, in order.
+    pub path: Path,
+    /// Payload size in bytes. Zero-byte flows model control messages and
+    /// are charged latency only.
+    pub bytes: u64,
+    /// Opaque tag returned on delivery (the MPI layer keys its bookkeeping
+    /// on this).
+    pub tag: u64,
+}
+
+/// Outcome handed to the owner when a delivery event fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// The completed flow.
+    pub flow: FlowId,
+    /// The tag from the original [`FlowSpec`].
+    pub tag: u64,
+    /// Bytes that were carried.
+    pub bytes: u64,
+}
+
+/// What a network event meant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetStep {
+    /// Internal bookkeeping (a stale drain estimate corrected itself);
+    /// nothing to act on.
+    Progress,
+    /// The flow's last byte left the sender: its buffer is reusable and it
+    /// stopped consuming link capacity. Delivery follows after the path
+    /// latency.
+    Drained {
+        /// The draining flow.
+        flow: FlowId,
+        /// The tag from the original [`FlowSpec`].
+        tag: u64,
+        /// Bytes carried.
+        bytes: u64,
+    },
+    /// The flow arrived at the receiver.
+    Delivered(Delivery),
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Consuming link capacity.
+    Draining {
+        /// Bytes left as of `last_update`.
+        remaining: f64,
+        /// Current rate, bytes/sec.
+        rate: f64,
+        /// When `remaining` was last reconciled.
+        last_update: Time,
+    },
+    /// Drained; waiting out the propagation latency.
+    Tail,
+}
+
+#[derive(Debug)]
+struct Flow {
+    spec: FlowSpec,
+    phase: Phase,
+    event: EventKey,
+    /// Scheduled time of `event` (to judge whether a rate change moved the
+    /// estimate enough to warrant a reschedule).
+    event_time: Time,
+}
+
+/// The flow-level network engine. Flows live in a slab (vector plus free
+/// list) so the per-event refresh of neighbouring flows is direct indexing
+/// rather than hashing — the hot path with tens of thousands of
+/// concurrent flows.
+pub struct Network {
+    links: Vec<Link>,
+    slab: Vec<Option<Flow>>,
+    free: Vec<u32>,
+    active: usize,
+    /// Flows currently draining through each link (unordered slab indices).
+    link_flows: Vec<Vec<u32>>,
+    /// Cumulative bytes delivered (diagnostics).
+    delivered_bytes: u64,
+    /// Scratch buffer: flows affected by the current perturbation.
+    affected: Vec<u32>,
+    /// Diagnostics: refresh scans and actual reschedules performed.
+    refreshes: u64,
+    reschedules: u64,
+}
+
+/// Rate below which a flow is considered stalled; avoids division blow-ups
+/// from floating-point corner cases. One byte per second.
+const MIN_RATE: f64 = 1.0;
+
+/// A drain event is rescheduled only when the new estimate moves by more
+/// than this fraction of the remaining drain time (or fires early). Small
+/// share fluctuations in steady pipelines thus keep their schedule; the
+/// drain event *self-corrects* — if it fires with bytes still unsent it
+/// re-arms at the true estimate — so accuracy is preserved, only
+/// fast-forwarded deliveries are delayed by at most this fraction.
+const RESCHED_TOL: f64 = 0.10;
+
+impl Network {
+    /// Create an engine over a fixed set of links.
+    pub fn new(links: Vec<Link>) -> Network {
+        let n = links.len();
+        Network {
+            links,
+            slab: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            link_flows: vec![Vec::new(); n],
+            delivered_bytes: 0,
+            affected: Vec::new(),
+            refreshes: 0,
+            reschedules: 0,
+        }
+    }
+
+    fn alloc(&mut self, flow: Flow) -> u32 {
+        self.active += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(flow);
+                i
+            }
+            None => {
+                self.slab.push(Some(flow));
+                (self.slab.len() - 1) as u32
+            }
+        }
+    }
+
+    /// The link table (for diagnostics and fabric queries).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of flows currently in the network (draining or in tail).
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    /// Total bytes delivered so far.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Diagnostics: `(neighbour refresh scans, drain reschedules)` so far.
+    pub fn perf_counters(&self) -> (u64, u64) {
+        (self.refreshes, self.reschedules)
+    }
+
+    /// Sum of path latencies for `path`.
+    pub fn path_latency(&self, path: &Path) -> Duration {
+        let mut d = Duration::ZERO;
+        for l in path {
+            d += self.links[l.0 as usize].latency;
+        }
+        d
+    }
+
+    /// The equal-share rate a flow with `path` gets right now.
+    fn share_rate(&self, path: &Path) -> f64 {
+        let mut rate = f64::INFINITY;
+        for l in path {
+            let link = &self.links[l.0 as usize];
+            let count = self.link_flows[l.0 as usize].len().max(1) as f64;
+            rate = rate.min(link.capacity / count);
+        }
+        rate.max(MIN_RATE)
+    }
+
+    /// Inject a new flow at time `now`. Returns its id; a delivery (or
+    /// drain) event is scheduled through `sched`.
+    pub fn start_flow(
+        &mut self,
+        now: Time,
+        spec: FlowSpec,
+        sched: &mut impl FlowScheduler,
+    ) -> FlowId {
+        let latency = self.path_latency(&spec.path);
+
+        if spec.bytes == 0 || spec.path.is_empty() {
+            // Control message or purely local hand-off: latency only.
+            // Reserve the slot first so the scheduled event's id is right.
+            let id = self.alloc(Flow {
+                spec,
+                phase: Phase::Tail,
+                event: EventKey::default(),
+                event_time: now + latency,
+            });
+            let event = sched.schedule(now + latency, FlowId(id as u64));
+            self.slab[id as usize]
+                .as_mut()
+                .expect("just allocated")
+                .event = event;
+            return FlowId(id as u64);
+        }
+
+        // Collect the neighbours whose share changes, then join the links.
+        self.collect_affected(&spec.path);
+        let id = self.alloc(Flow {
+            spec,
+            phase: Phase::Draining {
+                remaining: spec.bytes as f64,
+                rate: 0.0,
+                last_update: now,
+            },
+            event: EventKey::default(),
+            event_time: Time::MAX,
+        });
+        for l in &spec.path {
+            self.link_flows[l.0 as usize].push(id);
+        }
+        let rate = self.share_rate(&spec.path);
+        let drain_in = Duration::from_secs_f64_ceil(spec.bytes as f64 / rate);
+        let event = sched.schedule(now + drain_in, FlowId(id as u64));
+        {
+            let f = self.slab[id as usize].as_mut().expect("just allocated");
+            f.event = event;
+            f.event_time = now + drain_in;
+            if let Phase::Draining { rate: r, .. } = &mut f.phase {
+                *r = rate;
+            }
+        }
+        self.refresh_affected(now, sched);
+        FlowId(id as u64)
+    }
+
+    /// Handle a network event for `flow`: either the drain (last byte
+    /// injected — the flow stops consuming bandwidth and its delivery is
+    /// scheduled one path-latency later) or the delivery itself.
+    pub fn handle_event(
+        &mut self,
+        now: Time,
+        flow: FlowId,
+        sched: &mut impl FlowScheduler,
+    ) -> NetStep {
+        let idx = flow.0 as usize;
+        let draining = matches!(
+            self.slab[idx]
+                .as_ref()
+                .expect("event for unknown flow")
+                .phase,
+            Phase::Draining { .. }
+        );
+        if draining {
+            // Reconcile; if the stale schedule fired before the bytes are
+            // really out, re-arm at the true estimate (self-correction).
+            {
+                let f = self.slab[idx].as_mut().expect("flow vanished");
+                if let Phase::Draining {
+                    remaining,
+                    rate,
+                    last_update,
+                } = &mut f.phase
+                {
+                    let drained = *rate * now.saturating_since(*last_update).as_secs_f64();
+                    *remaining = (*remaining - drained).max(0.0);
+                    *last_update = now;
+                    if *remaining > 1.0 {
+                        let drain_in = Duration::from_secs_f64_ceil(*remaining / *rate);
+                        let event = sched.schedule(now + drain_in, flow);
+                        f.event = event;
+                        f.event_time = now + drain_in;
+                        return NetStep::Progress;
+                    }
+                }
+            }
+            let (path, tag, bytes) = {
+                let f = self.slab[idx].as_mut().expect("flow vanished");
+                f.phase = Phase::Tail;
+                (f.spec.path, f.spec.tag, f.spec.bytes)
+            };
+            // Stop consuming capacity; neighbours speed up.
+            for l in &path {
+                let v = &mut self.link_flows[l.0 as usize];
+                if let Some(pos) = v.iter().position(|x| *x == flow.0 as u32) {
+                    v.swap_remove(pos);
+                }
+            }
+            self.collect_affected(&path);
+            let latency = self.path_latency(&path);
+            let event = sched.schedule(now + latency, flow);
+            {
+                let f = self.slab[idx].as_mut().expect("flow vanished");
+                f.event = event;
+                f.event_time = now + latency;
+            }
+            self.refresh_affected(now, sched);
+            NetStep::Drained { flow, tag, bytes }
+        } else {
+            let f = self.slab[idx].take().expect("flow vanished");
+            self.active -= 1;
+            self.free.push(flow.0 as u32);
+            self.delivered_bytes += f.spec.bytes;
+            NetStep::Delivered(Delivery {
+                flow,
+                tag: f.spec.tag,
+                bytes: f.spec.bytes,
+            })
+        }
+    }
+
+    /// Gather (into the scratch buffer) every draining flow that shares a
+    /// link with `path`. Duplicates (flows sharing several of the links)
+    /// are kept — the refresh is idempotent — and the link-then-insertion
+    /// order is deterministic, so no sort is needed.
+    fn collect_affected(&mut self, path: &Path) {
+        self.affected.clear();
+        for l in path {
+            self.affected
+                .extend_from_slice(&self.link_flows[l.0 as usize]);
+        }
+    }
+
+    /// Re-derive the rate of every affected flow, reconciling its remaining
+    /// bytes at the old rate and rescheduling its drain event if the rate
+    /// moved.
+    fn refresh_affected(&mut self, now: Time, sched: &mut impl FlowScheduler) {
+        let affected = std::mem::take(&mut self.affected);
+        self.refreshes += affected.len() as u64;
+        let mut reschedules = 0u64;
+        for &id in &affected {
+            let path = self.slab[id as usize]
+                .as_ref()
+                .expect("affected flow vanished")
+                .spec
+                .path;
+            let new_rate = self.share_rate(&path);
+            let f = self.slab[id as usize]
+                .as_mut()
+                .expect("affected flow vanished");
+            let event_time = f.event_time;
+            let Phase::Draining {
+                remaining,
+                rate,
+                last_update,
+            } = &mut f.phase
+            else {
+                continue;
+            };
+            if (*rate - new_rate).abs() <= 1e-9 * new_rate.max(*rate) {
+                continue;
+            }
+            // Reconcile progress at the old rate, then switch.
+            let dt = now.saturating_since(*last_update).as_secs_f64();
+            *remaining = (*remaining - *rate * dt).max(0.0);
+            *last_update = now;
+            *rate = new_rate;
+            // Keep the existing event unless the estimate moved materially:
+            // a late event self-corrects on firing, an early one re-arms.
+            let drain_in = Duration::from_secs_f64_ceil(*remaining / new_rate);
+            let estimate = now + drain_in;
+            let scheduled_in = event_time.saturating_since(now).as_nanos() as f64;
+            let shift = (estimate.as_nanos() as f64 - event_time.as_nanos() as f64).abs();
+            if shift <= (scheduled_in.max(drain_in.as_nanos() as f64)) * RESCHED_TOL {
+                continue;
+            }
+            reschedules += 1;
+            let old_event = f.event;
+            let new_event = sched.schedule(estimate, FlowId(id as u64));
+            f.event = new_event;
+            f.event_time = estimate;
+            sched.cancel(old_event);
+        }
+        self.reschedules += reschedules;
+        self.affected = affected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::LinkId;
+    use adapt_sim::queue::EventQueue;
+
+    /// Test scheduler backed directly by an EventQueue.
+    struct Q(EventQueue<FlowId>);
+
+    impl FlowScheduler for Q {
+        fn schedule(&mut self, at: Time, flow: FlowId) -> EventKey {
+            self.0.schedule(at, flow)
+        }
+        fn cancel(&mut self, key: EventKey) {
+            self.0.cancel(key);
+        }
+    }
+
+    fn one_link(bw: f64, lat_ns: u64) -> Network {
+        Network::new(vec![Link {
+            class: crate::links::LinkClass::Backbone,
+            capacity: bw,
+            latency: Duration::from_nanos(lat_ns),
+        }])
+    }
+
+    fn drive_until_delivery(net: &mut Network, q: &mut Q) -> Vec<(Time, Delivery)> {
+        let mut out = Vec::new();
+        while let Some((t, fid)) = q.0.pop() {
+            if let NetStep::Delivered(d) = net.handle_event(t, fid, q) {
+                out.push((t, d));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_flow_hockney_time() {
+        // 1e6 bytes at 1e9 B/s = 1 ms drain + 1 us latency.
+        let mut net = one_link(1e9, 1_000);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 1_000_000,
+                tag: 7,
+            },
+            &mut q,
+        );
+        let deliveries = drive_until_delivery(&mut net, &mut q);
+        assert_eq!(deliveries.len(), 1);
+        let (t, d) = deliveries[0];
+        assert_eq!(d.tag, 7);
+        assert_eq!(t.as_nanos(), 1_000_000 + 1_000);
+        assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.delivered_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        // Two equal flows on one link: each runs at half speed for the
+        // duration, so both finish at 2 ms (plus latency).
+        let mut net = one_link(1e9, 0);
+        let mut q = Q(EventQueue::new());
+        for tag in 0..2 {
+            net.start_flow(
+                Time::ZERO,
+                FlowSpec {
+                    path: Path::new(&[LinkId(0)]),
+                    bytes: 1_000_000,
+                    tag,
+                },
+                &mut q,
+            );
+        }
+        let deliveries = drive_until_delivery(&mut net, &mut q);
+        assert_eq!(deliveries.len(), 2);
+        for (t, _) in deliveries {
+            assert!(t.as_nanos().abs_diff(2_000_000) <= 2);
+        }
+    }
+
+    #[test]
+    fn three_flows_get_third_bandwidth() {
+        // The §4.1 congestion claim: three concurrent flows on one PCIe
+        // direction each see one third of the bandwidth.
+        let mut net = one_link(9e9, 0);
+        let mut q = Q(EventQueue::new());
+        for tag in 0..3 {
+            net.start_flow(
+                Time::ZERO,
+                FlowSpec {
+                    path: Path::new(&[LinkId(0)]),
+                    bytes: 3_000_000,
+                    tag,
+                },
+                &mut q,
+            );
+        }
+        let deliveries = drive_until_delivery(&mut net, &mut q);
+        // 3 MB at 3 GB/s = 1 ms each.
+        for (t, _) in &deliveries {
+            assert!(t.as_nanos().abs_diff(1_000_000) <= 2);
+        }
+    }
+
+    #[test]
+    fn late_second_flow_speeds_up_after_first_drains() {
+        let mut net = one_link(1e9, 0);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 1_000_000,
+                tag: 0,
+            },
+            &mut q,
+        );
+        let d = drive_until_delivery(&mut net, &mut q);
+        assert_eq!(d[0].0.as_nanos(), 1_000_000);
+        net.start_flow(
+            Time(1_000_000),
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 1_000_000,
+                tag: 1,
+            },
+            &mut q,
+        );
+        let d = drive_until_delivery(&mut net, &mut q);
+        assert_eq!(d[0].0.as_nanos(), 2_000_000);
+    }
+
+    #[test]
+    fn preempted_flow_finishes_later() {
+        // A (2 MB) starts alone; B (1 MB) joins at 0.5 ms. From then on each
+        // gets 0.5 GB/s. B drains after 2 ms shared (at t=2.5ms), after
+        // which A runs alone: A drained 0.5 MB by 0.5 ms, another 1 MB
+        // while sharing, 0.5 MB left alone at 1 GB/s -> finishes at 3.0 ms.
+        let mut net = one_link(1e9, 0);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 2_000_000,
+                tag: 0,
+            },
+            &mut q,
+        );
+        net.start_flow(
+            Time(500_000),
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 1_000_000,
+                tag: 1,
+            },
+            &mut q,
+        );
+        let deliveries = drive_until_delivery(&mut net, &mut q);
+        let t_b = deliveries.iter().find(|(_, d)| d.tag == 1).unwrap().0;
+        let t_a = deliveries.iter().find(|(_, d)| d.tag == 0).unwrap().0;
+        assert!(t_b.as_nanos().abs_diff(2_500_000) <= 2, "B at {t_b:?}");
+        assert!(t_a.as_nanos().abs_diff(3_000_000) <= 4, "A at {t_a:?}");
+    }
+
+    #[test]
+    fn equal_share_on_shared_bottleneck() {
+        // Links: L0 cap 1.0, L1 cap 3.0 (GB/s). Flow A on [L0], flow B on
+        // [L0, L1], flow C on [L1]. Equal-share: A and B get 0.5 each on
+        // L0; C gets min(3.0 / 2) = 1.5 on L1 (the equal-share model does
+        // not redistribute B's unused L1 share — see module docs).
+        let mk = |cap| Link {
+            class: crate::links::LinkClass::Backbone,
+            capacity: cap,
+            latency: Duration::ZERO,
+        };
+        let mut net = Network::new(vec![mk(1e9), mk(3e9)]);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 500_000,
+                tag: 0,
+            },
+            &mut q,
+        );
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0), LinkId(1)]),
+                bytes: 500_000,
+                tag: 1,
+            },
+            &mut q,
+        );
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(1)]),
+                bytes: 1_500_000,
+                tag: 2,
+            },
+            &mut q,
+        );
+        let deliveries = drive_until_delivery(&mut net, &mut q);
+        // A and B: 0.5 MB at 0.5 GB/s = 1 ms. C: 1.5 MB at 1.5 GB/s = 1 ms.
+        for (t, d) in &deliveries {
+            assert!(
+                t.as_nanos().abs_diff(1_000_000) <= 2,
+                "flow {} at {t:?}",
+                d.tag
+            );
+        }
+    }
+
+    #[test]
+    fn zero_byte_flow_is_latency_only() {
+        let mut net = one_link(1e9, 2_000);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 0,
+                tag: 9,
+            },
+            &mut q,
+        );
+        let d = drive_until_delivery(&mut net, &mut q);
+        assert_eq!(d[0].0.as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn empty_path_delivers_immediately() {
+        let mut net = one_link(1e9, 2_000);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(
+            Time(5),
+            FlowSpec {
+                path: Path::EMPTY,
+                bytes: 123,
+                tag: 4,
+            },
+            &mut q,
+        );
+        let d = drive_until_delivery(&mut net, &mut q);
+        assert_eq!(d[0].0, Time(5));
+        assert_eq!(d[0].1.bytes, 123);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        let run = || {
+            let mut net = one_link(7e8, 300);
+            let mut q = Q(EventQueue::new());
+            for tag in 0..20 {
+                net.start_flow(
+                    Time(tag * 10_000),
+                    FlowSpec {
+                        path: Path::new(&[LinkId(0)]),
+                        bytes: 100_000 + tag * 7_777,
+                        tag,
+                    },
+                    &mut q,
+                );
+            }
+            drive_until_delivery(&mut net, &mut q)
+                .into_iter()
+                .map(|(t, d)| (t.as_nanos(), d.tag))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disjoint_links_do_not_interact() {
+        // A flow joining link 1 must not reschedule flows on link 0.
+        let mk = |cap| Link {
+            class: crate::links::LinkClass::Backbone,
+            capacity: cap,
+            latency: Duration::ZERO,
+        };
+        let mut net = Network::new(vec![mk(1e9), mk(1e9)]);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 1_000_000,
+                tag: 0,
+            },
+            &mut q,
+        );
+        net.start_flow(
+            Time(100),
+            FlowSpec {
+                path: Path::new(&[LinkId(1)]),
+                bytes: 1_000_000,
+                tag: 1,
+            },
+            &mut q,
+        );
+        let deliveries = drive_until_delivery(&mut net, &mut q);
+        let t0 = deliveries.iter().find(|(_, d)| d.tag == 0).unwrap().0;
+        let t1 = deliveries.iter().find(|(_, d)| d.tag == 1).unwrap().0;
+        assert_eq!(t0.as_nanos(), 1_000_000);
+        assert_eq!(t1.as_nanos(), 1_000_100);
+    }
+}

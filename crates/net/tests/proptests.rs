@@ -1,0 +1,143 @@
+//! Property-based tests of the flow-level network engine: conservation,
+//! fairness, and timing invariants.
+
+use adapt_net::{FlowId, FlowScheduler, FlowSpec, Link, LinkClass, LinkId, NetStep, Network, Path};
+use adapt_sim::queue::{EventKey, EventQueue};
+use adapt_sim::time::{Duration, Time};
+use proptest::prelude::*;
+
+struct Q(EventQueue<FlowId>);
+
+impl FlowScheduler for Q {
+    fn schedule(&mut self, at: Time, flow: FlowId) -> EventKey {
+        self.0.schedule(at, flow)
+    }
+    fn cancel(&mut self, key: EventKey) {
+        self.0.cancel(key);
+    }
+}
+
+fn drive(net: &mut Network, q: &mut Q) -> Vec<(Time, u64, u64)> {
+    let mut out = Vec::new();
+    while let Some((t, fid)) = q.0.pop() {
+        if let NetStep::Delivered(d) = net.handle_event(t, fid, q) {
+            out.push((t, d.tag, d.bytes));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every injected flow is delivered exactly once, bytes are conserved,
+    /// and no flow beats the physical lower bound latency + size/capacity.
+    #[test]
+    fn flows_conserve_bytes_and_respect_physics(
+        capacity_mbs in 1f64..10_000.0,
+        latency_ns in 0u64..100_000,
+        flows in proptest::collection::vec((0u64..10_000_000, 0u64..1_000_000), 1..40),
+    ) {
+        let capacity = capacity_mbs * 1e6;
+        let mut net = Network::new(vec![Link {
+            class: LinkClass::Backbone,
+            capacity,
+            latency: Duration::from_nanos(latency_ns),
+        }]);
+        let mut q = Q(EventQueue::new());
+        let mut injected = 0u64;
+        let mut starts = Vec::new();
+        for (i, &(start_ns, bytes)) in flows.iter().enumerate() {
+            let start = Time(start_ns);
+            starts.push((start, bytes));
+            injected += bytes;
+            // Interleave injection with progress: injections must happen in
+            // time order relative to deliveries, so schedule via a sorted
+            // plan instead. Simpler: inject in sorted order up front.
+            let _ = i;
+        }
+        starts.sort();
+        let mut deliveries = Vec::new();
+        for (i, &(start, bytes)) in starts.iter().enumerate() {
+            // Drain any events before this start time (recording deliveries).
+            while let Some(t) = q.0.peek_time() {
+                if t > start { break; }
+                let (t, fid) = q.0.pop().unwrap();
+                if let NetStep::Delivered(d) = net.handle_event(t, fid, &mut q) {
+                    deliveries.push((t, d.tag, d.bytes));
+                }
+            }
+            net.start_flow(start, FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes,
+                tag: i as u64,
+            }, &mut q);
+        }
+        deliveries.extend(drive(&mut net, &mut q));
+        prop_assert_eq!(deliveries.len(), starts.len());
+        let delivered: u64 = deliveries.iter().map(|&(_, _, b)| b).sum();
+        prop_assert_eq!(delivered, injected);
+        prop_assert_eq!(net.active_flows(), 0);
+        // Physical lower bound per flow.
+        for (i, &(start, bytes)) in starts.iter().enumerate() {
+            let (t, _, _) = deliveries.iter().find(|&&(_, tag, _)| tag == i as u64).unwrap();
+            let min_ns = latency_ns as f64 + (bytes as f64 / capacity) * 1e9;
+            prop_assert!(
+                t.as_nanos() as f64 >= start.as_nanos() as f64 + min_ns - 2.0,
+                "flow {i} of {bytes}B arrived impossibly fast: {t:?}"
+            );
+        }
+    }
+
+    /// Two identical flows injected together finish together (fairness),
+    /// and k concurrent flows take k times as long as one.
+    #[test]
+    fn equal_flows_share_equally(k in 1u64..12, bytes in 1_000u64..5_000_000) {
+        let mut net = Network::new(vec![Link {
+            class: LinkClass::Backbone,
+            capacity: 1e9,
+            latency: Duration::ZERO,
+        }]);
+        let mut q = Q(EventQueue::new());
+        for tag in 0..k {
+            net.start_flow(Time::ZERO, FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes,
+                tag,
+            }, &mut q);
+        }
+        let deliveries = drive(&mut net, &mut q);
+        let first = deliveries[0].0;
+        for &(t, _, _) in &deliveries {
+            // Ceil-rounded drain estimates may differ by a nanosecond.
+            prop_assert!(t.as_nanos().abs_diff(first.as_nanos()) <= 2,
+                "equal flows must finish together: {t:?} vs {first:?}");
+        }
+        let expect_ns = (k as f64 * bytes as f64 / 1e9) * 1e9;
+        let got = first.as_nanos() as f64;
+        prop_assert!((got - expect_ns).abs() <= k as f64 * 2.0 + 2.0,
+            "expected ~{expect_ns}ns got {got}ns");
+    }
+
+    /// Multi-link paths are bottlenecked by their slowest link.
+    #[test]
+    fn path_bottleneck(cap_a in 1f64..100.0, cap_b in 1f64..100.0, mb in 1u64..16) {
+        let bytes = mb * 1_000_000;
+        let mk = |cap: f64| Link {
+            class: LinkClass::Backbone,
+            capacity: cap * 1e6,
+            latency: Duration::ZERO,
+        };
+        let mut net = Network::new(vec![mk(cap_a), mk(cap_b)]);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(Time::ZERO, FlowSpec {
+            path: Path::new(&[LinkId(0), LinkId(1)]),
+            bytes,
+            tag: 0,
+        }, &mut q);
+        let deliveries = drive(&mut net, &mut q);
+        let expect_s = bytes as f64 / (cap_a.min(cap_b) * 1e6);
+        let got_s = deliveries[0].0.as_secs_f64();
+        prop_assert!((got_s - expect_s).abs() / expect_s < 1e-6);
+    }
+}

@@ -1,0 +1,45 @@
+//! Slowdown reporting, matching the presentation of the paper's Figure 7
+//! (bars annotated with "% slowdown under noise").
+
+/// Paper-style slowdown report for one (library, operation) cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlowdownReport {
+    /// Mean completion time with no noise, in microseconds.
+    pub baseline_us: f64,
+    /// Mean completion time under noise, in microseconds.
+    pub noisy_us: f64,
+}
+
+impl SlowdownReport {
+    /// Percentage slowdown relative to the noise-free baseline — the number
+    /// printed above the bars in Figure 7 (e.g. `24` for 24%).
+    pub fn slowdown_percent(&self) -> f64 {
+        if self.baseline_us <= 0.0 {
+            return 0.0;
+        }
+        (self.noisy_us / self.baseline_us - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_math() {
+        let r = SlowdownReport {
+            baseline_us: 100.0,
+            noisy_us: 124.0,
+        };
+        assert!((r.slowdown_percent() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_guard() {
+        let r = SlowdownReport {
+            baseline_us: 0.0,
+            noisy_us: 5.0,
+        };
+        assert_eq!(r.slowdown_percent(), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Deterministic event queue.
+//!
+//! A binary min-heap keyed on `(time, sequence)`. The sequence number is a
+//! monotonically increasing insertion counter, so two events scheduled for
+//! the same instant pop in insertion order. This makes every simulation run
+//! a pure function of its inputs and seeds.
+//!
+//! Cancellation is supported through [`EventKey`] epochs: `cancel` marks a
+//! scheduled entry dead without paying for heap surgery, and dead entries
+//! are skipped on pop (lazy deletion).
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation. The default key
+/// is a placeholder that never matches a live event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct EventKey {
+    seq: u64,
+}
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sorted-on-demand list of cancelled sequence numbers (lazy deletion).
+    cancelled: std::collections::HashSet<u64>,
+    /// Number of live (non-cancelled) entries.
+    live: usize,
+    /// Last time popped; used to detect causality violations.
+    last_popped: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+            last_popped: Time::ZERO,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    ///
+    /// Scheduling in the past (before the last popped event) is a logic
+    /// error in the caller; it is clamped forward to preserve causality and
+    /// flagged with a debug assertion.
+    pub fn schedule(&mut self, time: Time, payload: E) -> EventKey {
+        debug_assert!(
+            time >= self.last_popped,
+            "scheduled event at {time:?} before current time {:?}",
+            self.last_popped
+        );
+        let time = time.max(self.last_popped);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.live += 1;
+        EventKey { seq }
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event was
+    /// still pending (i.e. had not been popped or already cancelled).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        // An event that was already popped has its seq below entries still in
+        // the heap only probabilistically, so track cancellations by set; a
+        // seq that is not in the heap any more simply never matches on pop.
+        if self.cancelled.insert(key.seq) {
+            self.live = self.live.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest live event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live -= 1;
+            self.last_popped = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live scheduled events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The time of the last popped event (the queue's notion of "now").
+    pub fn now(&self) -> Time {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(30), "c");
+        q.schedule(Time(10), "a");
+        q.schedule(Time(20), "b");
+        assert_eq!(q.pop(), Some((Time(10), "a")));
+        assert_eq!(q.pop(), Some((Time(20), "b")));
+        assert_eq!(q.pop(), Some((Time(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(5), 1);
+        q.schedule(Time(5), 2);
+        q.schedule(Time(5), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn cancel_skips_entry() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule(Time(1), "a");
+        let b = q.schedule(Time(2), "b");
+        let _c = q.schedule(Time(3), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Time(1), "a")));
+        assert_eq!(q.pop(), Some((Time(3), "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time(1), "a");
+        q.schedule(Time(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Time(2)));
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::ZERO + Duration::from_micros(7), ());
+        q.pop();
+        assert_eq!(q.now(), Time(7_000));
+    }
+
+    #[test]
+    fn len_counts_live_only() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time(1), ());
+        q.schedule(Time(2), ());
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+    }
+}

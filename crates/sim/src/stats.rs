@@ -1,0 +1,130 @@
+//! Small statistics helpers used by the measurement harness.
+
+/// Online mean/min/max/variance accumulator (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean, or 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sample standard deviation (n-1 denominator), or 0 for fewer than two
+    /// observations.
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+/// Exact percentile of a data set (nearest-rank method).
+/// Returns 0 for an empty slice. `p` is in `[0, 100]`.
+pub fn percentile(data: &mut [f64], p: f64) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * data.len() as f64).ceil() as usize;
+    data[rank.clamp(1, data.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.stddev() - 1.2909944487358056).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut xs, 50.0), 3.0);
+        assert_eq!(percentile(&mut xs, 100.0), 5.0);
+        assert_eq!(percentile(&mut xs, 1.0), 1.0);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Time is measured in integer **nanoseconds** so that event ordering is
+//! exact and platform-independent. All derived quantities (bandwidth-phase
+//! durations, latencies, compute costs) are rounded to whole nanoseconds at
+//! the point where they are converted into a [`Duration`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+    /// The greatest representable time; used as an "infinite" horizon.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed in (floating) microseconds, for reporting.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time expressed in (floating) milliseconds, for reporting.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Time expressed in (floating) seconds, for reporting.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Duration {
+        Duration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from a floating number of seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Duration {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration((secs * 1e9).round() as u64)
+    }
+
+    /// Construct from a floating number of seconds, rounding **up** to the
+    /// next nanosecond — used where an event must not fire before the work
+    /// it represents is complete (e.g. flow drain estimates).
+    #[inline]
+    pub fn from_secs_f64_ceil(secs: f64) -> Duration {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration((secs * 1e9).ceil() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span expressed in (floating) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Span expressed in (floating) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Span expressed in (floating) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True when the span is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "time went backwards: {self:?} - {rhs:?}");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ns", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_roundtrip() {
+        let t = Time::ZERO + Duration::from_micros(5);
+        assert_eq!(t.as_nanos(), 5_000);
+        assert_eq!((t - Time::ZERO).as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(Duration::from_secs_f64(1e-9).as_nanos(), 1);
+        assert_eq!(Duration::from_secs_f64(2.5e-9).as_nanos(), 3);
+        assert_eq!(Duration::from_secs_f64(-1.0).as_nanos(), 0);
+        assert_eq!(Duration::from_secs_f64(f64::NAN).as_nanos(), 0);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time(10);
+        let b = Time(20);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration(10));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Time(1_500)), "1.500us");
+        assert_eq!(format!("{}", Duration::from_millis(2)), "2000.000us");
+    }
+
+    #[test]
+    fn time_add_saturates() {
+        let t = Time::MAX + Duration::from_nanos(1);
+        assert_eq!(t, Time::MAX);
+    }
+}

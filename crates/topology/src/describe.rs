@@ -1,0 +1,125 @@
+//! Human-readable machine descriptions and distance queries — the
+//! `lstopo`-style view of a simulated machine.
+
+use crate::placement::{Distance, Placement};
+use crate::spec::MachineSpec;
+
+/// A text rendering of the machine: shape, lanes, and software parameters.
+pub fn describe_machine(spec: &MachineSpec) -> String {
+    let mut out = String::new();
+    let s = &spec.shape;
+    out.push_str(&format!(
+        "Machine \"{}\": {} nodes x {} sockets x {} cores",
+        spec.name, s.nodes, s.sockets_per_node, s.cores_per_socket
+    ));
+    if s.gpus_per_socket > 0 {
+        out.push_str(&format!(" x {} GPUs/socket", s.gpus_per_socket));
+    }
+    out.push('\n');
+    let lane = |name: &str, p: &crate::spec::LinkParams| {
+        format!(
+            "  {:<14} {:>7.2} GB/s, {:>6.2} us\n",
+            name,
+            p.bandwidth / 1e9,
+            p.latency.as_micros_f64()
+        )
+    };
+    out.push_str(&lane("shm (socket)", &spec.shm));
+    out.push_str(&lane("core engine", &spec.core));
+    out.push_str(&lane("inter-socket", &spec.inter_socket));
+    out.push_str(&lane("NIC", &spec.nic));
+    if let Some(p) = &spec.pcie {
+        out.push_str(&lane("PCIe (dir)", p));
+    }
+    if let Some(p) = &spec.nvlink {
+        out.push_str(&lane("NVLink", p));
+    }
+    out.push_str(&format!(
+        "  eager limit {} KiB, send/recv overhead {:.2}/{:.2} us, cpu-reduce {:.1} GB/s",
+        spec.eager_limit >> 10,
+        spec.send_overhead.as_micros_f64(),
+        spec.recv_overhead.as_micros_f64(),
+        spec.cpu_reduce_bandwidth / 1e9,
+    ));
+    if spec.gpu_reduce_bandwidth > 0.0 {
+        out.push_str(&format!(
+            ", gpu-reduce {:.0} GB/s",
+            spec.gpu_reduce_bandwidth / 1e9
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// The full pairwise distance matrix of a placement (hierarchical
+/// distance classes, not latencies).
+pub fn distance_matrix(placement: &Placement) -> Vec<Vec<Distance>> {
+    let n = placement.len();
+    (0..n)
+        .map(|a| (0..n).map(|b| placement.distance(a, b)).collect())
+        .collect()
+}
+
+/// Histogram of pairwise distances: how many ordered rank pairs fall in
+/// each class `(intra-socket, inter-socket, inter-node)` — a quick check
+/// that a placement exercises every lane.
+pub fn distance_histogram(placement: &Placement) -> (u64, u64, u64) {
+    let n = placement.len();
+    let (mut intra, mut socket, mut node) = (0u64, 0u64, 0u64);
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            match placement.distance(a, b) {
+                Distance::IntraSocket => intra += 1,
+                Distance::InterSocket => socket += 1,
+                Distance::InterNode => node += 1,
+                Distance::Self_ => unreachable!(),
+            }
+        }
+    }
+    (intra, socket, node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crate::Placement;
+
+    #[test]
+    fn describe_mentions_all_lanes() {
+        let d = describe_machine(&profiles::cori(4));
+        assert!(d.contains("4 nodes x 2 sockets x 16 cores"));
+        assert!(d.contains("shm (socket)"));
+        assert!(d.contains("NIC"));
+        assert!(!d.contains("PCIe"), "cori has no GPUs");
+        let g = describe_machine(&profiles::psg(2));
+        assert!(g.contains("PCIe"));
+        assert!(g.contains("gpu-reduce"));
+    }
+
+    #[test]
+    fn distance_histogram_counts_pairs() {
+        // 2 nodes x 2 sockets x 2 cores = 8 ranks.
+        let p = Placement::block_cpu(profiles::minicluster(2, 2, 2).shape, 8);
+        let (intra, socket, node) = distance_histogram(&p);
+        // Each rank: 1 intra-socket peer, 2 inter-socket, 4 inter-node.
+        assert_eq!(intra, 8);
+        assert_eq!(socket, 16);
+        assert_eq!(node, 32);
+        assert_eq!(intra + socket + node, 8 * 7);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric() {
+        let p = Placement::block_cpu(profiles::minicluster(2, 2, 3).shape, 12);
+        let m = distance_matrix(&p);
+        for (a, row) in m.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate() {
+                assert_eq!(d, m[b][a]);
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Bottom-up hierarchical grouping of ranks (§3.2.1 of the paper).
+//!
+//! Processes are grouped by the hardware level they share: ranks on one
+//! socket form a *socket group*; the socket leaders on one node form a
+//! *node group*; the node leaders form the single *cluster group*. A
+//! leader belongs to its own group **and** to the group one level up —
+//! it is the process that "glues" the levels together (P4 in the paper's
+//! Figure 5).
+
+use crate::placement::Placement;
+use crate::spec::Rank;
+
+/// One group of ranks that share a hardware domain and communicate over a
+/// homogeneous lane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// Members, sorted ascending. The first member is the leader.
+    pub ranks: Vec<Rank>,
+    /// Which level of the hierarchy the group belongs to.
+    pub level: LevelKind,
+}
+
+impl Group {
+    /// The group leader (lowest rank; deterministic).
+    pub fn leader(&self) -> Rank {
+        self.ranks[0]
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the group has a single member (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+}
+
+/// The hardware level a group's lane corresponds with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LevelKind {
+    /// Ranks sharing a socket (shared-memory lane).
+    Socket,
+    /// Socket leaders sharing a node (inter-socket lane).
+    Node,
+    /// Node leaders across the cluster (inter-node lane).
+    Cluster,
+}
+
+/// The full multi-level grouping of a job.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Socket-level groups (one per occupied socket), cluster order.
+    pub socket_groups: Vec<Group>,
+    /// Node-level groups of socket leaders (one per occupied node).
+    pub node_groups: Vec<Group>,
+    /// The cluster-level group of node leaders.
+    pub cluster_group: Group,
+}
+
+impl Hierarchy {
+    /// Build the grouping bottom-up from a placement, with `root` elected
+    /// leader of every group it belongs to (so a tree rooted anywhere can
+    /// still glue the levels through its leaders).
+    pub fn build_rooted(placement: &Placement, root: Rank) -> Hierarchy {
+        let mut h = Hierarchy::build(placement);
+        if root == h.cluster_group.leader() {
+            return h;
+        }
+        // Original leaders along root's path up the hierarchy.
+        let s0 = h
+            .socket_group_of(root)
+            .expect("root placed on a socket")
+            .leader();
+        let node = placement.location(root).node;
+        let n0 = h
+            .node_groups
+            .iter()
+            .find(|g| placement.location(g.leader()).node == node)
+            .expect("root's node has a group")
+            .leader();
+
+        // Move `root` to the front of `ranks`, first substituting
+        // `replace` by `root` if root is not already a member.
+        let install = |ranks: &mut Vec<Rank>, replace: Rank, root: Rank| {
+            if !ranks.contains(&root) {
+                let pos = ranks
+                    .iter()
+                    .position(|&x| x == replace)
+                    .expect("displaced leader listed");
+                ranks[pos] = root;
+            }
+            ranks.retain(|&x| x != root);
+            let mut rest = std::mem::take(ranks);
+            rest.sort_unstable();
+            ranks.push(root);
+            ranks.append(&mut rest);
+        };
+
+        for g in &mut h.socket_groups {
+            if g.ranks.contains(&root) {
+                install(&mut g.ranks, root, root);
+            }
+        }
+        for g in &mut h.node_groups {
+            if placement.location(g.leader()).node == node {
+                install(&mut g.ranks, s0, root);
+            }
+        }
+        install(&mut h.cluster_group.ranks, n0, root);
+        h
+    }
+
+    /// Build the grouping bottom-up from a placement.
+    pub fn build(placement: &Placement) -> Hierarchy {
+        let shape = *placement.shape();
+        // Socket groups: bucket ranks by global socket.
+        let mut sockets: Vec<(u32, Vec<Rank>)> = Vec::new();
+        for (rank, loc) in placement.iter() {
+            let gs = loc.global_socket(&shape);
+            match sockets.iter_mut().find(|(s, _)| *s == gs) {
+                Some((_, v)) => v.push(rank),
+                None => sockets.push((gs, vec![rank])),
+            }
+        }
+        sockets.sort_by_key(|(s, _)| *s);
+        let socket_groups: Vec<Group> = sockets
+            .into_iter()
+            .map(|(_, mut ranks)| {
+                ranks.sort_unstable();
+                Group {
+                    ranks,
+                    level: LevelKind::Socket,
+                }
+            })
+            .collect();
+
+        // Node groups: bucket socket leaders by node.
+        let mut nodes: Vec<(u32, Vec<Rank>)> = Vec::new();
+        for g in &socket_groups {
+            let leader = g.leader();
+            let node = placement.location(leader).node;
+            match nodes.iter_mut().find(|(n, _)| *n == node) {
+                Some((_, v)) => v.push(leader),
+                None => nodes.push((node, vec![leader])),
+            }
+        }
+        nodes.sort_by_key(|(n, _)| *n);
+        let node_groups: Vec<Group> = nodes
+            .into_iter()
+            .map(|(_, mut ranks)| {
+                ranks.sort_unstable();
+                Group {
+                    ranks,
+                    level: LevelKind::Node,
+                }
+            })
+            .collect();
+
+        // Cluster group: node leaders.
+        let mut leaders: Vec<Rank> = node_groups.iter().map(|g| g.leader()).collect();
+        leaders.sort_unstable();
+        let cluster_group = Group {
+            ranks: leaders,
+            level: LevelKind::Cluster,
+        };
+
+        Hierarchy {
+            socket_groups,
+            node_groups,
+            cluster_group,
+        }
+    }
+
+    /// All groups, top level first (cluster, then node, then socket groups) —
+    /// the order a one-to-all operation flows through them.
+    pub fn top_down(&self) -> Vec<&Group> {
+        let mut out: Vec<&Group> = vec![&self.cluster_group];
+        out.extend(self.node_groups.iter());
+        out.extend(self.socket_groups.iter());
+        out
+    }
+
+    /// The socket group containing `rank`, if any.
+    pub fn socket_group_of(&self, rank: Rank) -> Option<&Group> {
+        self.socket_groups.iter().find(|g| g.ranks.contains(&rank))
+    }
+
+    /// True if `rank` leads its socket group.
+    pub fn is_socket_leader(&self, rank: Rank) -> bool {
+        self.socket_groups.iter().any(|g| g.leader() == rank)
+    }
+
+    /// True if `rank` leads its node (i.e. leads the node group of socket
+    /// leaders).
+    pub fn is_node_leader(&self, rank: Rank) -> bool {
+        self.node_groups.iter().any(|g| g.leader() == rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterShape;
+
+    fn paper_shape() -> ClusterShape {
+        // Figure 5: 4 cores per socket, 2 sockets per node, 3 nodes, 24 ranks.
+        ClusterShape {
+            nodes: 3,
+            sockets_per_node: 2,
+            cores_per_socket: 4,
+            gpus_per_socket: 0,
+        }
+    }
+
+    #[test]
+    fn figure5_grouping() {
+        let p = Placement::block_cpu(paper_shape(), 24);
+        let h = Hierarchy::build(&p);
+        assert_eq!(h.socket_groups.len(), 6);
+        assert_eq!(h.socket_groups[1].ranks, vec![4, 5, 6, 7]);
+        assert_eq!(h.node_groups.len(), 3);
+        // Node 0's socket leaders are 0 and 4; P4 glues socket 1 to node 0.
+        assert_eq!(h.node_groups[0].ranks, vec![0, 4]);
+        assert_eq!(h.cluster_group.ranks, vec![0, 8, 16]);
+    }
+
+    #[test]
+    fn leaders() {
+        let p = Placement::block_cpu(paper_shape(), 24);
+        let h = Hierarchy::build(&p);
+        assert!(h.is_socket_leader(0));
+        assert!(h.is_socket_leader(4));
+        assert!(!h.is_socket_leader(5));
+        assert!(h.is_node_leader(0));
+        assert!(h.is_node_leader(8));
+        assert!(!h.is_node_leader(4));
+    }
+
+    #[test]
+    fn partial_job_grouping() {
+        // 10 ranks only: socket 0 (0-3), socket 1 (4-7), node 1 socket 0 (8,9).
+        let p = Placement::block_cpu(paper_shape(), 10);
+        let h = Hierarchy::build(&p);
+        assert_eq!(h.socket_groups.len(), 3);
+        assert_eq!(h.socket_groups[2].ranks, vec![8, 9]);
+        assert_eq!(h.cluster_group.ranks, vec![0, 8]);
+    }
+
+    #[test]
+    fn top_down_order() {
+        let p = Placement::block_cpu(paper_shape(), 24);
+        let h = Hierarchy::build(&p);
+        let groups = h.top_down();
+        assert_eq!(groups[0].level, LevelKind::Cluster);
+        assert_eq!(groups[1].level, LevelKind::Node);
+        assert_eq!(groups.last().unwrap().level, LevelKind::Socket);
+        assert_eq!(groups.len(), 1 + 3 + 6);
+    }
+
+    #[test]
+    fn rooted_hierarchy_promotes_root_to_every_level() {
+        let p = Placement::block_cpu(paper_shape(), 24);
+        // Root 13 lives on node 1, socket 1 (ranks 12-15).
+        let h = Hierarchy::build_rooted(&p, 13);
+        assert_eq!(h.cluster_group.leader(), 13);
+        assert!(h.is_node_leader(13));
+        assert!(h.is_socket_leader(13));
+        // Its socket group keeps all members, root first.
+        let sg = h.socket_group_of(13).unwrap();
+        assert_eq!(sg.ranks[0], 13);
+        let mut sorted = sg.ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![12, 13, 14, 15]);
+        // Node 1's group now glues through 13 instead of 12.
+        let ng = h
+            .node_groups
+            .iter()
+            .find(|g| g.ranks.contains(&13))
+            .unwrap();
+        assert_eq!(ng.leader(), 13);
+        assert!(ng.ranks.contains(&8));
+        assert!(!ng.ranks.contains(&12));
+        // Cluster group: 13 replaced node 1's old leader 8? No — 8 leads
+        // socket (8..11); 13 displaced 8 as *node* leader, so the cluster
+        // group lists 13 for node 1.
+        assert!(h.cluster_group.ranks.contains(&13));
+        assert!(!h.cluster_group.ranks.contains(&8));
+        assert!(h.cluster_group.ranks.contains(&0));
+        assert!(h.cluster_group.ranks.contains(&16));
+    }
+
+    #[test]
+    fn rooted_hierarchy_with_leader_root_is_unchanged() {
+        let p = Placement::block_cpu(paper_shape(), 24);
+        let a = Hierarchy::build(&p);
+        let b = Hierarchy::build_rooted(&p, 0);
+        assert_eq!(a.cluster_group, b.cluster_group);
+        assert_eq!(a.socket_groups, b.socket_groups);
+    }
+
+    #[test]
+    fn rooted_hierarchy_when_root_is_socket_but_not_node_leader() {
+        let p = Placement::block_cpu(paper_shape(), 24);
+        // Rank 4 leads socket 1 of node 0 but not node 0.
+        let h = Hierarchy::build_rooted(&p, 4);
+        assert_eq!(h.cluster_group.leader(), 4);
+        let ng = h.node_groups.iter().find(|g| g.ranks.contains(&4)).unwrap();
+        assert_eq!(ng.leader(), 4);
+        assert!(ng.ranks.contains(&0), "old leader 0 stays as socket leader");
+    }
+
+    #[test]
+    fn socket_group_of_lookup() {
+        let p = Placement::block_cpu(paper_shape(), 24);
+        let h = Hierarchy::build(&p);
+        assert_eq!(h.socket_group_of(6).unwrap().ranks, vec![4, 5, 6, 7]);
+        assert!(h.socket_group_of(99).is_none());
+    }
+}

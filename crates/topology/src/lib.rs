@@ -1,0 +1,20 @@
+//! # adapt-topology — hardware topology model
+//!
+//! An hwloc-like description of the simulated machines: cluster shape,
+//! per-lane Hockney parameters, rank placement, hierarchical distance
+//! classification, and the bottom-up grouping (socket → node → cluster)
+//! that the topology-aware communication trees of §3.2 are built from.
+//!
+//! Profiles for the paper's three evaluation platforms (Cori, Stampede2,
+//! and the NVIDIA PSG GPU cluster) live in [`profiles`].
+
+pub mod describe;
+pub mod hierarchy;
+pub mod placement;
+pub mod profiles;
+pub mod spec;
+
+pub use describe::{describe_machine, distance_histogram, distance_matrix};
+pub use hierarchy::{Group, Hierarchy, LevelKind};
+pub use placement::{Distance, Location, MemSpace, Placement};
+pub use spec::{ClusterShape, LinkParams, MachineSpec, Rank};

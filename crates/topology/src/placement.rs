@@ -1,0 +1,286 @@
+//! Rank placement: which core/GPU hosts which rank, and memory spaces.
+
+use crate::spec::{ClusterShape, Rank};
+
+/// Physical location of a rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Node index.
+    pub node: u32,
+    /// Socket index within the node.
+    pub socket: u32,
+    /// Core index within the socket.
+    pub core: u32,
+    /// GPU index within the socket, when the rank is GPU-bound.
+    pub gpu: Option<u32>,
+}
+
+impl Location {
+    /// Global socket index (unique across the cluster).
+    pub fn global_socket(&self, shape: &ClusterShape) -> u32 {
+        self.node * shape.sockets_per_node + self.socket
+    }
+
+    /// Global GPU index (unique across the cluster), if GPU-bound.
+    pub fn global_gpu(&self, shape: &ClusterShape) -> Option<u32> {
+        self.gpu
+            .map(|g| self.global_socket(shape) * shape.gpus_per_socket + g)
+    }
+}
+
+/// A memory space a message buffer can live in. CPU jobs only use `Host`;
+/// GPU jobs move data between `Device` memories, possibly staged through
+/// `Host` memory (§4.1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Host (CPU) memory attached to a socket.
+    Host { node: u32, socket: u32 },
+    /// GPU device memory.
+    Device { node: u32, socket: u32, gpu: u32 },
+}
+
+impl MemSpace {
+    /// Node the memory is attached to.
+    pub fn node(&self) -> u32 {
+        match *self {
+            MemSpace::Host { node, .. } | MemSpace::Device { node, .. } => node,
+        }
+    }
+
+    /// Socket the memory is attached to.
+    pub fn socket(&self) -> u32 {
+        match *self {
+            MemSpace::Host { socket, .. } | MemSpace::Device { socket, .. } => socket,
+        }
+    }
+
+    /// True for device (GPU) memory.
+    pub fn is_device(&self) -> bool {
+        matches!(self, MemSpace::Device { .. })
+    }
+}
+
+/// Relationship between two ranks in the hardware hierarchy, ordered from
+/// closest to farthest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Distance {
+    /// Same rank.
+    Self_,
+    /// Same socket (shared-memory reachable).
+    IntraSocket,
+    /// Same node, different socket.
+    InterSocket,
+    /// Different nodes.
+    InterNode,
+}
+
+/// Placement of an entire job: rank → location.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    shape: ClusterShape,
+    by_rank: Vec<Location>,
+}
+
+impl Placement {
+    /// Block placement for a CPU job: ranks fill cores within a socket,
+    /// sockets within a node, then the next node — matching the paper's
+    /// Figure 5 numbering (ranks 0–3 on socket 0 of node 0, 4–7 on socket 1,
+    /// 8–11 on node 1 socket 0, ...).
+    pub fn block_cpu(shape: ClusterShape, ranks: u32) -> Placement {
+        assert!(
+            ranks <= shape.total_cores(),
+            "job of {ranks} ranks does not fit {} cores",
+            shape.total_cores()
+        );
+        let by_rank = (0..ranks)
+            .map(|r| {
+                let core = r % shape.cores_per_socket;
+                let sock_lin = r / shape.cores_per_socket;
+                let socket = sock_lin % shape.sockets_per_node;
+                let node = sock_lin / shape.sockets_per_node;
+                Location {
+                    node,
+                    socket,
+                    core,
+                    gpu: None,
+                }
+            })
+            .collect();
+        Placement { shape, by_rank }
+    }
+
+    /// Placement for a GPU job: one rank per GPU, filling GPUs within a
+    /// socket, sockets within a node, then the next node.
+    pub fn block_gpu(shape: ClusterShape, ranks: u32) -> Placement {
+        assert!(shape.gpus_per_socket > 0, "shape has no GPUs");
+        assert!(
+            ranks <= shape.total_gpus(),
+            "job of {ranks} ranks does not fit {} GPUs",
+            shape.total_gpus()
+        );
+        let by_rank = (0..ranks)
+            .map(|r| {
+                let gpu = r % shape.gpus_per_socket;
+                let sock_lin = r / shape.gpus_per_socket;
+                let socket = sock_lin % shape.sockets_per_node;
+                let node = sock_lin / shape.sockets_per_node;
+                Location {
+                    node,
+                    socket,
+                    core: gpu, // one core drives each GPU
+                    gpu: Some(gpu),
+                }
+            })
+            .collect();
+        Placement { shape, by_rank }
+    }
+
+    /// Number of ranks in the job.
+    pub fn len(&self) -> u32 {
+        self.by_rank.len() as u32
+    }
+
+    /// True for an empty job (never used in practice; completes the API).
+    pub fn is_empty(&self) -> bool {
+        self.by_rank.is_empty()
+    }
+
+    /// The cluster shape this placement lives on.
+    pub fn shape(&self) -> &ClusterShape {
+        &self.shape
+    }
+
+    /// Location of `rank`.
+    pub fn location(&self, rank: Rank) -> Location {
+        self.by_rank[rank as usize]
+    }
+
+    /// The memory space a rank's communication buffers live in by default:
+    /// device memory for GPU-bound ranks, host memory otherwise.
+    pub fn default_mem(&self, rank: Rank) -> MemSpace {
+        let loc = self.location(rank);
+        match loc.gpu {
+            Some(gpu) => MemSpace::Device {
+                node: loc.node,
+                socket: loc.socket,
+                gpu,
+            },
+            None => MemSpace::Host {
+                node: loc.node,
+                socket: loc.socket,
+            },
+        }
+    }
+
+    /// Host memory space on a rank's socket (staging buffers live here).
+    pub fn host_mem(&self, rank: Rank) -> MemSpace {
+        let loc = self.location(rank);
+        MemSpace::Host {
+            node: loc.node,
+            socket: loc.socket,
+        }
+    }
+
+    /// Hierarchical distance between two ranks.
+    pub fn distance(&self, a: Rank, b: Rank) -> Distance {
+        if a == b {
+            return Distance::Self_;
+        }
+        let la = self.location(a);
+        let lb = self.location(b);
+        if la.node != lb.node {
+            Distance::InterNode
+        } else if la.socket != lb.socket {
+            Distance::InterSocket
+        } else {
+            Distance::IntraSocket
+        }
+    }
+
+    /// Iterate over `(rank, location)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, Location)> + '_ {
+        self.by_rank
+            .iter()
+            .enumerate()
+            .map(|(r, loc)| (r as Rank, *loc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ClusterShape {
+        ClusterShape {
+            nodes: 3,
+            sockets_per_node: 2,
+            cores_per_socket: 4,
+            gpus_per_socket: 2,
+        }
+    }
+
+    #[test]
+    fn block_cpu_matches_paper_figure5() {
+        // Figure 5: 4 cores/socket, 2 sockets/node; ranks 0-3 socket 0,
+        // 4-7 socket 1, 8.. next node.
+        let p = Placement::block_cpu(shape(), 24);
+        assert_eq!(
+            p.location(0),
+            Location {
+                node: 0,
+                socket: 0,
+                core: 0,
+                gpu: None
+            }
+        );
+        assert_eq!(p.location(5).socket, 1);
+        assert_eq!(p.location(5).node, 0);
+        assert_eq!(p.location(8).node, 1);
+        assert_eq!(p.location(8).socket, 0);
+        assert_eq!(p.location(23).node, 2);
+    }
+
+    #[test]
+    fn distances() {
+        let p = Placement::block_cpu(shape(), 24);
+        assert_eq!(p.distance(0, 0), Distance::Self_);
+        assert_eq!(p.distance(0, 1), Distance::IntraSocket);
+        assert_eq!(p.distance(0, 4), Distance::InterSocket);
+        assert_eq!(p.distance(0, 8), Distance::InterNode);
+        // Symmetry.
+        assert_eq!(p.distance(8, 0), Distance::InterNode);
+    }
+
+    #[test]
+    fn gpu_placement_binds_one_rank_per_gpu() {
+        let p = Placement::block_gpu(shape(), 12);
+        let l0 = p.location(0);
+        assert_eq!(l0.gpu, Some(0));
+        let l1 = p.location(1);
+        assert_eq!(l1.gpu, Some(1));
+        assert_eq!(l1.socket, 0);
+        let l2 = p.location(2);
+        assert_eq!(l2.gpu, Some(0));
+        assert_eq!(l2.socket, 1);
+        let l4 = p.location(4);
+        assert_eq!(l4.node, 1);
+        // Memory spaces.
+        assert!(p.default_mem(0).is_device());
+        assert!(!p.host_mem(0).is_device());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overfull_job_panics() {
+        let _ = Placement::block_cpu(shape(), 25);
+    }
+
+    #[test]
+    fn global_indices() {
+        let s = shape();
+        let p = Placement::block_gpu(s, 12);
+        assert_eq!(p.location(3).global_socket(&s), 1);
+        assert_eq!(p.location(3).global_gpu(&s), Some(3));
+        assert_eq!(p.location(11).global_gpu(&s), Some(11));
+    }
+}

@@ -1,0 +1,193 @@
+//! Machine profiles mirroring the paper's three evaluation platforms.
+//!
+//! Parameters are public figures for the respective interconnects and CPU
+//! generations (NIC/link bandwidths and latencies, memory-copy rates); they
+//! set the *scale* of results, while the relative behaviour of the
+//! algorithms comes from the simulation itself.
+
+use crate::spec::{ClusterShape, LinkParams, MachineSpec};
+use adapt_sim::time::Duration;
+
+/// "Cori"-like CPU cluster: 2× Xeon E5-2698v3-class sockets (the paper says
+/// E5-2689 v3) with 16 cores each, Cray Aries interconnect.
+///
+/// `nodes` is configurable so strong-scaling sweeps (Figure 10: 8–32 nodes)
+/// reuse one profile; the paper's 1K-core runs use 32 nodes.
+pub fn cori(nodes: u32) -> MachineSpec {
+    MachineSpec {
+        name: "cori",
+        shape: ClusterShape {
+            nodes,
+            sockets_per_node: 2,
+            cores_per_socket: 16,
+            gpus_per_socket: 0,
+        },
+        // Shared-memory aggregate per socket: ~0.3 us, ~45 GB/s; each
+        // core's copy engine sustains ~12 GB/s per direction.
+        shm: LinkParams::from_us_gbs(0.3, 45.0),
+        core: LinkParams::from_us_gbs(0.0, 12.0),
+        // QPI between sockets: ~0.6 us, ~12 GB/s per direction.
+        inter_socket: LinkParams::from_us_gbs(0.6, 12.0),
+        // Aries NIC: ~1.3 us, ~9 GB/s injection per node.
+        nic: LinkParams::from_us_gbs(1.3, 9.0),
+        backbone: None, // Aries dragonfly ≈ non-blocking at 32 nodes
+        pcie: None,
+        nvlink: None,
+        send_overhead: Duration::from_nanos(400),
+        recv_overhead: Duration::from_nanos(400),
+        eager_limit: 8 * 1024,
+        unexpected_copy_bandwidth: 6.0e9,
+        unexpected_overhead: Duration::from_nanos(900),
+        // Single-core vectorized (AVX2) f64 sum: ~9 GB/s of operand data.
+        cpu_reduce_bandwidth: 9.0e9,
+        gpu_reduce_bandwidth: 0.0,
+    }
+}
+
+/// "Stampede2"-like CPU cluster: 2× Xeon Platinum 8160 sockets with 24 cores
+/// each, Intel Omni-Path (100 Gb/s) interconnect. The paper's 1.5K-core runs
+/// use 32 nodes.
+pub fn stampede2(nodes: u32) -> MachineSpec {
+    MachineSpec {
+        name: "stampede2",
+        shape: ClusterShape {
+            nodes,
+            sockets_per_node: 2,
+            cores_per_socket: 24,
+            gpus_per_socket: 0,
+        },
+        shm: LinkParams::from_us_gbs(0.25, 55.0),
+        core: LinkParams::from_us_gbs(0.0, 13.0),
+        inter_socket: LinkParams::from_us_gbs(0.5, 16.0),
+        // Omni-Path: ~1.1 us, 100 Gb/s ≈ 12.5 GB/s.
+        nic: LinkParams::from_us_gbs(1.1, 12.5),
+        backbone: None,
+        pcie: None,
+        nvlink: None,
+        send_overhead: Duration::from_nanos(350),
+        recv_overhead: Duration::from_nanos(350),
+        eager_limit: 16 * 1024,
+        unexpected_copy_bandwidth: 8.0e9,
+        unexpected_overhead: Duration::from_nanos(800),
+        // AVX-512 Skylake core: ~11 GB/s of operand data.
+        cpu_reduce_bandwidth: 11.0e9,
+        gpu_reduce_bandwidth: 0.0,
+    }
+}
+
+/// NVIDIA PSG-like GPU cluster: 10 nodes, each with 2 deca-core Ivy Bridge
+/// sockets and 4 K40 GPUs (2 per socket), nodes connected by FDR InfiniBand
+/// (40 Gb/s ≈ 5 GB/s after encoding).
+pub fn psg(nodes: u32) -> MachineSpec {
+    MachineSpec {
+        name: "psg",
+        shape: ClusterShape {
+            nodes,
+            sockets_per_node: 2,
+            cores_per_socket: 10,
+            gpus_per_socket: 2,
+        },
+        shm: LinkParams::from_us_gbs(0.3, 40.0),
+        core: LinkParams::from_us_gbs(0.0, 10.0),
+        inter_socket: LinkParams::from_us_gbs(0.6, 11.0),
+        // FDR IB: ~1.7 us, ~5 GB/s.
+        nic: LinkParams::from_us_gbs(1.7, 5.0),
+        backbone: None,
+        // PCIe gen3 x16 to each K40: ~10 GB/s effective per direction,
+        // ~1 us DMA setup.
+        pcie: Some(LinkParams::from_us_gbs(1.0, 10.0)),
+        nvlink: None, // K40 era: no NVLink
+        send_overhead: Duration::from_nanos(500),
+        recv_overhead: Duration::from_nanos(500),
+        eager_limit: 8 * 1024,
+        unexpected_copy_bandwidth: 5.0e9,
+        unexpected_overhead: Duration::from_nanos(1000),
+        // CPU-side reduce of GPU data (after staging): memory bound ~3 GB/s.
+        cpu_reduce_bandwidth: 3.0e9,
+        // K40 device-memory-bound reduce: ~180 GB/s, but reading two operands
+        // and writing one ⇒ ~60 GB/s of result throughput.
+        gpu_reduce_bandwidth: 60.0e9,
+    }
+}
+
+/// A small laptop-scale profile used by tests and the quickstart example.
+pub fn minicluster(nodes: u32, sockets_per_node: u32, cores_per_socket: u32) -> MachineSpec {
+    MachineSpec {
+        name: "minicluster",
+        shape: ClusterShape {
+            nodes,
+            sockets_per_node,
+            cores_per_socket,
+            gpus_per_socket: 0,
+        },
+        shm: LinkParams::from_us_gbs(0.3, 40.0),
+        core: LinkParams::from_us_gbs(0.0, 10.0),
+        inter_socket: LinkParams::from_us_gbs(0.6, 10.0),
+        nic: LinkParams::from_us_gbs(1.5, 6.0),
+        backbone: None,
+        pcie: None,
+        nvlink: None,
+        send_overhead: Duration::from_nanos(400),
+        recv_overhead: Duration::from_nanos(400),
+        eager_limit: 4 * 1024,
+        unexpected_copy_bandwidth: 5.0e9,
+        unexpected_overhead: Duration::from_nanos(900),
+        cpu_reduce_bandwidth: 4.0e9,
+        gpu_reduce_bandwidth: 0.0,
+    }
+}
+
+/// A small GPU profile used by tests (2 GPUs per socket like PSG).
+pub fn mini_gpu(nodes: u32) -> MachineSpec {
+    let mut spec = psg(nodes);
+    spec.name = "mini-gpu";
+    spec.shape.cores_per_socket = 4;
+    spec
+}
+
+/// A V100-era GPU cluster: PSG's shape, but same-socket GPU pairs talk
+/// over NVLink (~23 GB/s effective per direction) instead of sharing the
+/// PCIe switch, PCIe gen3 stays for host traffic, and the fabric is EDR
+/// InfiniBand. Used by the NVLink sensitivity study (post-paper hardware).
+pub fn nvlink_cluster(nodes: u32) -> MachineSpec {
+    let mut spec = psg(nodes);
+    spec.name = "nvlink";
+    spec.nvlink = Some(LinkParams::from_us_gbs(0.7, 23.0));
+    // EDR IB: ~12 GB/s.
+    spec.nic = LinkParams::from_us_gbs(1.3, 12.0);
+    // V100 device-memory reduce throughput.
+    spec.gpu_reduce_bandwidth = 250.0e9;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_job_sizes() {
+        assert_eq!(cori(32).cpu_job_size(), 1024);
+        assert_eq!(stampede2(32).cpu_job_size(), 1536);
+        assert_eq!(psg(8).gpu_job_size(), 32);
+        assert_eq!(psg(10).shape.nodes, 10);
+    }
+
+    #[test]
+    fn lane_speed_ordering() {
+        // Within a machine the lanes must be ordered shm ≥ qpi ≥ nic in
+        // bandwidth and the reverse in latency — the heterogeneity the
+        // topology-aware tree exploits.
+        for spec in [cori(32), stampede2(32), psg(8)] {
+            assert!(spec.shm.bandwidth >= spec.inter_socket.bandwidth);
+            assert!(spec.inter_socket.bandwidth >= spec.nic.bandwidth);
+            assert!(spec.shm.latency <= spec.nic.latency);
+        }
+    }
+
+    #[test]
+    fn gpu_profile_has_pcie() {
+        assert!(psg(8).pcie.is_some());
+        assert!(cori(32).pcie.is_none());
+        assert!(psg(8).gpu_reduce_bandwidth > psg(8).cpu_reduce_bandwidth);
+    }
+}

@@ -1,0 +1,143 @@
+//! Cluster shape and per-level hardware parameters.
+
+use adapt_sim::time::Duration;
+
+/// Rank identifier within a simulated job (dense, 0-based).
+pub type Rank = u32;
+
+/// The regular shape of a simulated cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterShape {
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// CPU sockets per node.
+    pub sockets_per_node: u32,
+    /// Cores per socket (each hosting at most one rank in CPU jobs).
+    pub cores_per_socket: u32,
+    /// GPUs per socket (0 for CPU clusters; GPU jobs bind one rank per GPU).
+    pub gpus_per_socket: u32,
+}
+
+impl ClusterShape {
+    /// Total core count.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> u32 {
+        self.nodes * self.sockets_per_node * self.gpus_per_socket
+    }
+}
+
+/// Hockney parameters of one communication lane.
+///
+/// A transfer of `m` bytes over a lane costs `latency + m / bandwidth`
+/// when the lane is uncontended; under contention the flow-level network
+/// model shares `bandwidth` max-min fairly among concurrent flows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl LinkParams {
+    /// Convenience constructor from microseconds and GB/s (decimal).
+    pub fn from_us_gbs(latency_us: f64, bandwidth_gbs: f64) -> Self {
+        LinkParams {
+            latency: Duration::from_secs_f64(latency_us * 1e-6),
+            bandwidth: bandwidth_gbs * 1e9,
+        }
+    }
+
+    /// Uncontended transfer duration for `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+/// The full description of a simulated machine: shape plus the parameters of
+/// every lane class and of the software stack (overheads, protocol limits,
+/// reduction throughput).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable profile name ("cori", "stampede2", "psg").
+    pub name: &'static str,
+    /// Shape of the cluster.
+    pub shape: ClusterShape,
+    /// Intra-socket (shared-memory) aggregate lane, one per socket.
+    pub shm: LinkParams,
+    /// Per-core copy engine: each core's ingress and egress are separate
+    /// lanes of this speed (cores are full duplex), so one rank's send and
+    /// receive overlap while the socket aggregate still caps the sum.
+    pub core: LinkParams,
+    /// Inter-socket lane (QPI / UPI / HyperTransport), one per node.
+    pub inter_socket: LinkParams,
+    /// Inter-node NIC, one per node and direction (tx and rx modelled as
+    /// separate resources, as on real adapters).
+    pub nic: LinkParams,
+    /// Network backbone (aggregate fabric). Modelled as a very fat shared
+    /// link; `None` means a non-blocking fabric.
+    pub backbone: Option<LinkParams>,
+    /// PCI-Express lane per (node, socket, direction); present on GPU
+    /// machines.
+    pub pcie: Option<LinkParams>,
+    /// NVLink peer lane per socket (same-socket GPU↔GPU traffic bypasses
+    /// PCIe when present) — post-paper hardware, used by the NVLink
+    /// sensitivity study.
+    pub nvlink: Option<LinkParams>,
+    /// Sender-side per-message CPU overhead (the `o` of LogP).
+    pub send_overhead: Duration,
+    /// Receiver-side per-message CPU overhead.
+    pub recv_overhead: Duration,
+    /// Messages at or below this size use the eager protocol.
+    pub eager_limit: u64,
+    /// Extra copy bandwidth paid when an eager message arrives before its
+    /// receive is posted (unexpected-message buffering), bytes/sec.
+    pub unexpected_copy_bandwidth: f64,
+    /// Fixed cost of claiming an unexpected message (allocation + matching).
+    pub unexpected_overhead: Duration,
+    /// CPU reduction throughput, bytes/sec (the reciprocal of Hockney's γ).
+    pub cpu_reduce_bandwidth: f64,
+    /// GPU reduction throughput, bytes/sec; only meaningful on GPU machines.
+    pub gpu_reduce_bandwidth: f64,
+}
+
+impl MachineSpec {
+    /// Number of ranks a CPU job occupies when fully packed (one per core).
+    pub fn cpu_job_size(&self) -> u32 {
+        self.shape.total_cores()
+    }
+
+    /// Number of ranks a GPU job occupies (one per GPU).
+    pub fn gpu_job_size(&self) -> u32 {
+        self.shape.total_gpus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_totals() {
+        let s = ClusterShape {
+            nodes: 4,
+            sockets_per_node: 2,
+            cores_per_socket: 16,
+            gpus_per_socket: 2,
+        };
+        assert_eq!(s.total_cores(), 128);
+        assert_eq!(s.total_gpus(), 16);
+    }
+
+    #[test]
+    fn link_params_transfer_time() {
+        let l = LinkParams::from_us_gbs(1.0, 10.0);
+        // 10 MB at 10 GB/s = 1 ms, plus 1 us latency.
+        let t = l.transfer_time(10_000_000);
+        assert_eq!(t.as_nanos(), 1_000_000 + 1_000);
+    }
+}

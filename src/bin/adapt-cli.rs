@@ -1,0 +1,208 @@
+//! `adapt-cli` — run any collective configuration from the command line.
+//!
+//! ```text
+//! adapt-cli --machine cori --nodes 8 --op bcast --lib adapt --msg 4194304 --noise 10 --seed 3
+//! adapt-cli --machine psg --nodes 4 --op reduce --lib adapt --msg 33554432 --gpu
+//! adapt-sim --op allreduce --nodes 4 --msg 1048576
+//! ```
+
+use adapt::collectives::{run_once_scoped, CollectiveCase, Library, NoiseScope, OpKind};
+use adapt::prelude::*;
+
+fn arg(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == &format!("--{key}"))
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == &format!("--{key}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if flag(&args, "help") || args.is_empty() {
+        eprintln!(
+            "usage: adapt-cli [--machine cori|stampede2|psg|mini] [--nodes N] \
+             [--op bcast|reduce|allreduce|allgather|alltoall|scan|scatter|gather|barrier] \
+             [--lib adapt|default|default-topo|intel|cray|mvapich] \
+             [--msg BYTES] [--noise PCT] [--seed S] [--gpu] [--trace FILE.csv] [--describe]"
+        );
+        return;
+    }
+    let nodes: u32 = arg(&args, "nodes")
+        .map(|s| s.parse().expect("nodes"))
+        .unwrap_or(4);
+    let machine = match arg(&args, "machine").as_deref() {
+        Some("stampede2") => profiles::stampede2(nodes),
+        Some("psg") => profiles::psg(nodes),
+        Some("mini") | None => profiles::minicluster(nodes, 2, 8),
+        Some("cori") => profiles::cori(nodes),
+        Some(other) => panic!("unknown machine {other}"),
+    };
+    let gpu = flag(&args, "gpu") || machine.shape.gpus_per_socket > 0;
+    let msg: u64 = arg(&args, "msg")
+        .map(|s| s.parse().expect("msg"))
+        .unwrap_or(4 << 20);
+    let noise: f64 = arg(&args, "noise")
+        .map(|s| s.parse().expect("noise"))
+        .unwrap_or(0.0);
+    let seed: u64 = arg(&args, "seed")
+        .map(|s| s.parse().expect("seed"))
+        .unwrap_or(1);
+    let op = arg(&args, "op").unwrap_or_else(|| "bcast".into());
+    let lib = arg(&args, "lib").unwrap_or_else(|| "adapt".into());
+
+    if gpu {
+        let library = match lib.as_str() {
+            "adapt" => GpuLibrary::OmpiAdapt,
+            "default" => GpuLibrary::OmpiDefault,
+            "mvapich" => GpuLibrary::Mvapich,
+            other => panic!("unknown GPU library {other}"),
+        };
+        let opk = match op.as_str() {
+            "bcast" => OpKind::Bcast,
+            "reduce" => OpKind::Reduce,
+            other => panic!("GPU runner supports bcast/reduce, not {other}"),
+        };
+        let case = GpuCase {
+            nranks: machine.gpu_job_size(),
+            machine,
+            op: opk,
+            library,
+            msg_bytes: msg,
+        };
+        let (us, stats) = run_gpu_once(&case);
+        println!(
+            "{op} ({}) on {} GPUs, {msg} bytes: {us:.1} us",
+            library.label(),
+            case.nranks
+        );
+        println!(
+            "  events={} messages={} rendezvous={}",
+            stats.events, stats.messages, stats.rendezvous
+        );
+        return;
+    }
+
+    if flag(&args, "describe") {
+        print!("{}", adapt::topology::describe_machine(&machine));
+        return;
+    }
+
+    let nranks = machine.cpu_job_size();
+    // Collectives beyond bcast/reduce run through their adapt-core specs.
+    match op.as_str() {
+        "allreduce" | "allgather" | "alltoall" | "scan" | "scatter" | "gather" | "barrier" => {
+            let cfg = AdaptConfig::default();
+            let programs = match op.as_str() {
+                "allreduce" => AllreduceSpec {
+                    nranks,
+                    msg_bytes: msg,
+                    cfg,
+                    data: None,
+                }
+                .programs(),
+                "allgather" => AllgatherSpec {
+                    nranks,
+                    msg_bytes: msg,
+                    cfg,
+                    data: None,
+                }
+                .programs(),
+                "alltoall" => adapt::core::AlltoallSpec {
+                    nranks,
+                    msg_bytes: msg - msg % nranks as u64,
+                    cfg,
+                    data: None,
+                }
+                .programs(),
+                "scan" => adapt::core::ScanSpec {
+                    nranks,
+                    msg_bytes: msg,
+                    cfg,
+                    data: None,
+                }
+                .programs(),
+                "scatter" => ScatterSpec {
+                    nranks,
+                    msg_bytes: msg,
+                    cfg,
+                    data: None,
+                }
+                .programs(),
+                "gather" => GatherSpec {
+                    nranks,
+                    msg_bytes: msg,
+                    cfg,
+                    data: None,
+                }
+                .programs(),
+                _ => BarrierSpec { nranks }.programs(),
+            };
+            let noise_model = if noise > 0.0 {
+                ClusterNoise::uniform(nranks, NoiseSpec::uniform_percent(noise), MasterSeed(seed))
+            } else {
+                ClusterNoise::silent(nranks)
+            };
+            let world = World::cpu(machine, nranks, noise_model);
+            let res = world.run(programs);
+            println!(
+                "{op} (ADAPT) on {nranks} ranks, {msg} bytes: {:.1} us",
+                res.makespan.as_micros_f64()
+            );
+            println!(
+                "  events={} messages={} unexpected={}",
+                res.stats.events, res.stats.messages, res.stats.unexpected_matches
+            );
+            return;
+        }
+        _ => {}
+    }
+
+    let library = match lib.as_str() {
+        "adapt" => Library::OmpiAdapt,
+        "default" => Library::OmpiDefault,
+        "default-topo" => Library::OmpiDefaultTopo,
+        "intel" => Library::IntelMpi,
+        "cray" => Library::CrayMpi,
+        "mvapich" => Library::Mvapich,
+        other => panic!("unknown library {other}"),
+    };
+    let opk = match op.as_str() {
+        "bcast" => OpKind::Bcast,
+        "reduce" => OpKind::Reduce,
+        other => panic!("unknown op {other}"),
+    };
+    let case = CollectiveCase {
+        machine,
+        nranks,
+        op: opk,
+        library,
+        msg_bytes: msg,
+    };
+    if let Some(path) = arg(&args, "trace") {
+        // Traced single run (ignores --noise scope subtleties).
+        let noise_model =
+            adapt::collectives::noise_for_case(&case, NoiseScope::PerNode, noise, seed);
+        let world = World::cpu(case.machine.clone(), case.nranks, noise_model).enable_trace();
+        let res = world.run(case.programs());
+        std::fs::write(&path, adapt::mpi::trace_to_csv(&res.trace)).expect("write trace");
+        println!(
+            "{op} ({}) on {nranks} ranks: {:.1} us — {} trace events written to {path}",
+            library.label(),
+            res.makespan.as_micros_f64(),
+            res.trace.len()
+        );
+        return;
+    }
+    let (us, stats) = run_once_scoped(&case, NoiseScope::PerNode, noise, seed);
+    println!(
+        "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {us:.1} us",
+        library.label()
+    );
+    println!(
+        "  events={} messages={} rendezvous={} unexpected={}",
+        stats.events, stats.messages, stats.rendezvous, stats.unexpected_matches
+    );
+}
