@@ -27,6 +27,7 @@ use adapt_core::{
 };
 use adapt_mpi::{RankProgram, World, WorldStats};
 use adapt_noise::{ClusterNoise, NoiseSpec};
+use adapt_sim::audit::AuditReport;
 use adapt_sim::rng::{MasterSeed, StreamTag};
 use adapt_sim::Summary;
 use adapt_topology::{MachineSpec, Placement};
@@ -475,6 +476,9 @@ pub struct TrialResult {
     pub samples: Vec<f64>,
     /// Counters from the last iteration.
     pub stats: WorldStats,
+    /// Invariant report from the last repetition (every repetition is
+    /// asserted clean as it runs).
+    pub audit: AuditReport,
 }
 
 /// Build the noise model for a case.
@@ -529,6 +533,14 @@ pub fn run_once_scoped(
     let noise = noise_for_case(case, scope, noise_percent, seed);
     let world = World::cpu(case.machine.clone(), case.nranks, noise);
     let res = world.run(case.programs());
+    assert!(
+        res.audit.is_clean(),
+        "{} {:?} {}B: {}",
+        case.library.label(),
+        case.op,
+        case.msg_bytes,
+        res.audit
+    );
     (res.makespan.as_micros_f64(), res.stats)
 }
 
@@ -538,6 +550,7 @@ pub fn run_trial(trial: &Trial) -> TrialResult {
     assert!(trial.iterations > 0 && trial.repeats > 0);
     let mut samples = Vec::with_capacity(trial.repeats as usize);
     let mut stats = WorldStats::default();
+    let mut audit = AuditReport::default();
     for rep in 0..trial.repeats {
         let seed = MasterSeed(trial.seed).stream(StreamTag::Workload, rep as u64);
         let noise = noise_for_case(&trial.case, trial.scope, trial.noise_percent, seed);
@@ -556,8 +569,17 @@ pub fn run_trial(trial: &Trial) -> TrialResult {
             .collect();
         let world = World::cpu(trial.case.machine.clone(), nranks, noise);
         let res = world.run(programs);
+        assert!(
+            res.audit.is_clean(),
+            "{} {:?} {}B rep {rep}: {}",
+            trial.case.library.label(),
+            trial.case.op,
+            trial.case.msg_bytes,
+            res.audit
+        );
         samples.push(res.makespan.as_micros_f64() / trial.iterations as f64);
         stats = res.stats;
+        audit = res.audit;
     }
     let summary: Summary = samples.iter().copied().collect();
     TrialResult {
@@ -566,6 +588,7 @@ pub fn run_trial(trial: &Trial) -> TrialResult {
         max_us: summary.max(),
         samples,
         stats,
+        audit,
     }
 }
 

@@ -134,6 +134,14 @@ pub fn run_gpu_once(case: &GpuCase) -> (f64, WorldStats) {
         ClusterNoise::silent(case.nranks),
     );
     let res = world.run(case.programs());
+    assert!(
+        res.audit.is_clean(),
+        "{} {:?} {}B: {}",
+        case.library.label(),
+        case.op,
+        case.msg_bytes,
+        res.audit
+    );
     (res.makespan.as_micros_f64(), res.stats)
 }
 

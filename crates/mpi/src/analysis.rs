@@ -104,4 +104,78 @@ mod tests {
         assert!(counts.contains(&(TraceKind::Finish, 2)));
         assert!(counts.contains(&(TraceKind::RecvDone, 0)));
     }
+
+    /// A RunResult with the given per-rank finish and busy times (µs);
+    /// makespan is the latest finish.
+    fn result(finish_us: &[u64], busy_us: &[u64]) -> RunResult {
+        use adapt_sim::time::Time;
+        RunResult {
+            makespan: Duration::from_micros(finish_us.iter().copied().max().unwrap_or(0)),
+            per_rank_finish: finish_us
+                .iter()
+                .map(|&u| Time::ZERO + Duration::from_micros(u))
+                .collect(),
+            per_rank_busy: busy_us.iter().map(|&u| Duration::from_micros(u)).collect(),
+            stats: Default::default(),
+            audit: Default::default(),
+            programs: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn busy_fractions_divide_work_by_makespan() {
+        let r = result(&[100, 100], &[50, 25]);
+        let f = busy_fractions(&r);
+        assert!((f[0] - 0.5).abs() < 1e-12, "{f:?}");
+        assert!((f[1] - 0.25).abs() < 1e-12, "{f:?}");
+    }
+
+    #[test]
+    fn busy_fractions_of_empty_run_are_zero() {
+        let r = result(&[0, 0, 0], &[0, 0, 0]);
+        assert_eq!(busy_fractions(&r), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn finish_skew_measures_idle_tail_behind_slowest_rank() {
+        let r = result(&[100, 70, 40], &[0, 0, 0]);
+        assert_eq!(
+            finish_skew(&r),
+            vec![
+                Duration::ZERO,
+                Duration::from_micros(30),
+                Duration::from_micros(60),
+            ]
+        );
+    }
+
+    #[test]
+    fn finish_skew_of_empty_result_is_empty() {
+        let r = result(&[], &[]);
+        assert!(finish_skew(&r).is_empty());
+    }
+
+    #[test]
+    fn trace_to_csv_renders_header_and_rows() {
+        let mut a = ev(TraceKind::SendPosted, 0, 1, 4096);
+        a.time_ns = 1500;
+        let mut b = ev(TraceKind::RecvDone, 1, 0, 4096);
+        b.time_ns = 2500;
+        let csv = crate::world::trace_to_csv(&[a, b]);
+        assert_eq!(
+            csv,
+            "time_ns,rank,kind,peer,amount\n\
+             1500,0,send_posted,1,4096\n\
+             2500,1,recv_done,0,4096\n"
+        );
+    }
+
+    #[test]
+    fn trace_to_csv_of_empty_trace_is_just_the_header() {
+        assert_eq!(
+            crate::world::trace_to_csv(&[]),
+            "time_ns,rank,kind,peer,amount\n"
+        );
+    }
 }

@@ -26,6 +26,7 @@ use crate::payload::Payload;
 use crate::program::{Completion, Op, ProgramCtx, RankProgram, Tag, Token};
 use adapt_net::{Fabric, FlowId, FlowScheduler, FlowSpec, NetStep, Network, Path};
 use adapt_noise::ClusterNoise;
+use adapt_sim::audit::{AuditReport, RankAudit};
 use adapt_sim::queue::{EventKey, EventQueue};
 use adapt_sim::time::{Duration, Time};
 use adapt_topology::{MachineSpec, MemSpace, Placement, Rank};
@@ -58,7 +59,11 @@ enum FlowKind {
     Cts(MsgId),
     EagerData(MsgId),
     RndvData(MsgId),
-    Copy { rank: Rank, token: Token },
+    Copy {
+        rank: Rank,
+        token: Token,
+        bytes: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -106,6 +111,17 @@ struct RankState {
     unexp_rts: Vec<MsgId>,
     finished_at: Option<Time>,
     gpu_stream_busy: Time,
+    /// Posted/completed operation counters for the audit layer.
+    audit: RankAudit,
+}
+
+/// World-level byte counters feeding the end-of-run [`AuditReport`].
+#[derive(Debug, Default)]
+struct ByteAudit {
+    send_posted: u64,
+    recv_completed: u64,
+    copy_posted: u64,
+    copy_completed: u64,
 }
 
 /// One recorded runtime event (tracing enabled via
@@ -201,6 +217,11 @@ pub struct RunResult {
     pub per_rank_busy: Vec<Duration>,
     /// Aggregate counters.
     pub stats: WorldStats,
+    /// End-of-run invariant report: byte conservation, causality,
+    /// matched completions, and event-queue consistency. A violation
+    /// means the simulator (or an algorithm driving it) miscounted —
+    /// callers should assert [`AuditReport::is_clean`].
+    pub audit: AuditReport,
     /// The rank programs, returned for inspection (downcast with
     /// `as Box<dyn Any>` — `RankProgram` upcasts to `Any`).
     pub programs: Vec<Box<dyn RankProgram>>,
@@ -271,6 +292,7 @@ pub struct World {
     programs: Vec<Option<Box<dyn RankProgram>>>,
     finished: u32,
     stats: WorldStats,
+    byte_audit: ByteAudit,
     /// Hard cap on processed events (livelock guard).
     pub max_events: u64,
     /// Asynchronous progress (paper §7 future work): when enabled, each
@@ -306,6 +328,7 @@ impl World {
             programs: Vec::new(),
             finished: 0,
             stats: WorldStats::default(),
+            byte_audit: ByteAudit::default(),
             max_events: 2_000_000_000,
             async_progress: false,
             trace: None,
@@ -473,6 +496,7 @@ impl World {
         let (refreshes, reschedules) = self.net.perf_counters();
         self.stats.net_refreshes = refreshes;
         self.stats.net_reschedules = reschedules;
+        let audit = self.build_audit();
         let mut trace = self.trace.take().unwrap_or_default();
         // Ops are recorded at their (possibly future) execution instants in
         // processing order; sort so the timeline reads chronologically.
@@ -482,12 +506,36 @@ impl World {
             per_rank_finish,
             per_rank_busy,
             trace,
+            audit,
             stats: self.stats,
             programs: self
                 .programs
                 .into_iter()
                 .map(|p| p.expect("program"))
                 .collect(),
+        }
+    }
+
+    /// Assemble the end-of-run invariant report (see
+    /// [`adapt_sim::audit`] for what each check means).
+    fn build_audit(&self) -> AuditReport {
+        AuditReport {
+            queue: self.queue.audit(),
+            send_posted_bytes: self.byte_audit.send_posted,
+            recv_completed_bytes: self.byte_audit.recv_completed,
+            copy_posted_bytes: self.byte_audit.copy_posted,
+            copy_completed_bytes: self.byte_audit.copy_completed,
+            net_injected_bytes: self.net.injected_bytes(),
+            net_delivered_bytes: self.net.delivered_bytes(),
+            net_flows_in_flight: self.net.active_flows(),
+            per_rank: self.ranks.iter().map(|r| r.audit).collect(),
+            unclaimed_messages: self.msgs.len() as u64,
+            unexpected_leftovers: self
+                .ranks
+                .iter()
+                .map(|r| (r.unexp_eager.len() + r.unexp_rts.len()) as u64)
+                .sum(),
+            leftover_posted_recvs: self.ranks.iter().map(|r| r.posted.len() as u64).sum(),
         }
     }
 
@@ -529,7 +577,8 @@ impl World {
                     FlowKind::Cts(m) => (self.msgs[&m].src, RankItem::CtsArrived(m)),
                     FlowKind::EagerData(m) => (self.msgs[&m].dst, RankItem::EagerArrived(m)),
                     FlowKind::RndvData(m) => (self.msgs[&m].dst, RankItem::RndvDataArrived(m)),
-                    FlowKind::Copy { rank, token } => {
+                    FlowKind::Copy { rank, token, bytes } => {
+                        self.byte_audit.copy_completed += bytes;
                         (rank, RankItem::Deliver(Completion::CopyDone { token }))
                     }
                 };
@@ -722,6 +771,16 @@ impl World {
     // ------------------------------------------------------------------
 
     fn run_handler(&mut self, rank: Rank, t: Time, completion: Option<Completion>) {
+        match &completion {
+            Some(Completion::SendDone { .. }) => {
+                self.ranks[rank as usize].audit.sends_completed += 1;
+            }
+            Some(Completion::RecvDone { data, .. }) => {
+                self.ranks[rank as usize].audit.recvs_completed += 1;
+                self.byte_audit.recv_completed += data.len();
+            }
+            _ => {}
+        }
         if self.trace.is_some() {
             match &completion {
                 Some(Completion::RecvDone { src, data, .. }) => {
@@ -798,6 +857,7 @@ impl World {
                     cost += CTRL_OVERHEAD;
                     let at = self.noise.finish_work(rank, t, cost);
                     self.record(at, rank, TraceKind::RecvPosted, src, 0);
+                    self.ranks[rank as usize].audit.recvs_posted += 1;
                     let extra = self.post_recv(at, rank, src, tag, token, dst_mem);
                     cost += extra;
                 }
@@ -860,10 +920,11 @@ impl World {
                     cost += CTRL_OVERHEAD;
                     let at = self.noise.finish_work(rank, t, cost);
                     let path = self.fabric.route(from, to);
+                    self.byte_audit.copy_posted += bytes;
                     self.queue.schedule(
                         at,
                         Ev::Launch {
-                            kind: FlowKind::Copy { rank, token },
+                            kind: FlowKind::Copy { rank, token, bytes },
                             path,
                             bytes,
                         },
@@ -908,6 +969,8 @@ impl World {
             );
         }
         self.stats.messages += 1;
+        self.ranks[src as usize].audit.sends_posted += 1;
+        self.byte_audit.send_posted += payload.len();
         let src_mem = src_mem.unwrap_or_else(|| self.placement.default_mem(src));
         let dst_mem = self.placement.default_mem(dst);
         let bytes = payload.len();

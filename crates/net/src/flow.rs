@@ -126,7 +126,9 @@ pub struct Network {
     active: usize,
     /// Flows currently draining through each link (unordered slab indices).
     link_flows: Vec<Vec<u32>>,
-    /// Cumulative bytes delivered (diagnostics).
+    /// Cumulative bytes injected by `start_flow` (audit).
+    injected_bytes: u64,
+    /// Cumulative bytes delivered (diagnostics and audit).
     delivered_bytes: u64,
     /// Scratch buffer: flows affected by the current perturbation.
     affected: Vec<u32>,
@@ -157,6 +159,7 @@ impl Network {
             free: Vec::new(),
             active: 0,
             link_flows: vec![Vec::new(); n],
+            injected_bytes: 0,
             delivered_bytes: 0,
             affected: Vec::new(),
             refreshes: 0,
@@ -193,6 +196,13 @@ impl Network {
         self.delivered_bytes
     }
 
+    /// Total bytes injected into flows so far. Once the network is idle
+    /// ([`Network::active_flows`] is zero) this must equal
+    /// [`Network::delivered_bytes`] — the audit layer checks exactly that.
+    pub fn injected_bytes(&self) -> u64 {
+        self.injected_bytes
+    }
+
     /// Diagnostics: `(neighbour refresh scans, drain reschedules)` so far.
     pub fn perf_counters(&self) -> (u64, u64) {
         (self.refreshes, self.reschedules)
@@ -227,6 +237,7 @@ impl Network {
         sched: &mut impl FlowScheduler,
     ) -> FlowId {
         let latency = self.path_latency(&spec.path);
+        self.injected_bytes += spec.bytes;
 
         if spec.bytes == 0 || spec.path.is_empty() {
             // Control message or purely local hand-off: latency only.

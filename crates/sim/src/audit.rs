@@ -1,0 +1,272 @@
+//! Simulator-wide invariant audit.
+//!
+//! The audit layer accumulates cheap counters while a simulation runs and
+//! cross-checks them once it finishes, so bookkeeping bugs (lost
+//! completions, double-counted cancellations, bytes that vanish between a
+//! send and its matching receive) surface as a reportable diagnosis
+//! instead of silently skewing results. The checks mirror the paper's
+//! correctness obligations for an event-based progress engine:
+//!
+//! 1. **Conservation of bytes** — every posted send byte is eventually
+//!    matched by a completed-receive byte, and both totals agree with what
+//!    the network engine says it delivered (plus explicit copy traffic).
+//! 2. **Causality** — no event is ever scheduled before the simulation's
+//!    current time (see [`crate::queue::EventQueue::schedule`]).
+//! 3. **Matched completions** — per rank, sends posted equal send
+//!    completions delivered, and no message is left unclaimed in the
+//!    runtime's in-flight table or unexpected queues.
+//! 4. **Queue consistency** — the event queue's reported live count
+//!    matches an actual scan of its heap at drain time
+//!    ([`crate::queue::QueueAudit`]).
+//!
+//! Leftover *posted* receives are reported but do **not** make a run
+//! dirty: ADAPT's `M > N` receive-window rule (§2.2.1 of the paper)
+//! deliberately over-posts receives that never match.
+
+use crate::queue::QueueAudit;
+
+/// Per-rank posted/completed operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankAudit {
+    /// Sends posted by the rank's program.
+    pub sends_posted: u64,
+    /// Send completions delivered back to the program.
+    pub sends_completed: u64,
+    /// Receives posted by the rank's program.
+    pub recvs_posted: u64,
+    /// Receive completions delivered back to the program.
+    pub recvs_completed: u64,
+}
+
+/// End-of-run invariant report, surfaced through the runtime's
+/// `RunResult`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Event-queue internal consistency snapshot at drain time.
+    pub queue: QueueAudit,
+    /// Total payload bytes across posted sends.
+    pub send_posted_bytes: u64,
+    /// Total payload bytes across completed receives.
+    pub recv_completed_bytes: u64,
+    /// Bytes of explicit memory-copy flows requested (staging, unpack).
+    pub copy_posted_bytes: u64,
+    /// Bytes of explicit memory-copy flows fully delivered.
+    pub copy_completed_bytes: u64,
+    /// Bytes the network engine injected into flows.
+    pub net_injected_bytes: u64,
+    /// Bytes the network engine delivered to endpoints.
+    pub net_delivered_bytes: u64,
+    /// Flows still in flight in the network engine at the end of the run.
+    pub net_flows_in_flight: usize,
+    /// Per-rank posted/completed counters.
+    pub per_rank: Vec<RankAudit>,
+    /// Messages still sitting in the runtime's in-flight table at the end
+    /// of the run (sent but never claimed by a receive).
+    pub unclaimed_messages: u64,
+    /// Unexpected-queue entries (eager data or RTS) never matched by a
+    /// posted receive.
+    pub unexpected_leftovers: u64,
+    /// Posted receives that never matched a message. Informational only:
+    /// the `M > N` pre-posting rule legitimately leaves these behind.
+    pub leftover_posted_recvs: u64,
+}
+
+impl AuditReport {
+    /// All invariant violations found, as human-readable one-liners. An
+    /// empty list means the run was clean.
+    pub fn issues(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.queue.causality_violations > 0 {
+            out.push(format!(
+                "{} event(s) scheduled before the current simulation time (clamped forward)",
+                self.queue.causality_violations
+            ));
+        }
+        if !self.queue.is_consistent() {
+            out.push(format!(
+                "event queue reports {} live event(s) but its heap holds {} (of {} total entries)",
+                self.queue.reported_live, self.queue.actual_live, self.queue.heap_total
+            ));
+        }
+        if self.send_posted_bytes != self.recv_completed_bytes {
+            out.push(format!(
+                "byte conservation: {} bytes posted in sends vs {} bytes completed in receives",
+                self.send_posted_bytes, self.recv_completed_bytes
+            ));
+        }
+        if self.copy_posted_bytes != self.copy_completed_bytes {
+            out.push(format!(
+                "copy conservation: {} bytes posted vs {} bytes completed",
+                self.copy_posted_bytes, self.copy_completed_bytes
+            ));
+        }
+        if self.net_delivered_bytes != self.send_posted_bytes + self.copy_posted_bytes {
+            out.push(format!(
+                "network delivered {} bytes, expected sends + copies = {}",
+                self.net_delivered_bytes,
+                self.send_posted_bytes + self.copy_posted_bytes
+            ));
+        }
+        if self.net_injected_bytes != self.net_delivered_bytes {
+            out.push(format!(
+                "network injected {} bytes but delivered {}",
+                self.net_injected_bytes, self.net_delivered_bytes
+            ));
+        }
+        if self.net_flows_in_flight > 0 {
+            out.push(format!(
+                "{} network flow(s) still in flight at end of run",
+                self.net_flows_in_flight
+            ));
+        }
+        for (rank, r) in self.per_rank.iter().enumerate() {
+            if r.sends_posted != r.sends_completed {
+                out.push(format!(
+                    "rank {rank}: {} send(s) posted but {} completed",
+                    r.sends_posted, r.sends_completed
+                ));
+            }
+        }
+        if self.unclaimed_messages > 0 {
+            out.push(format!(
+                "{} message(s) left unclaimed in the in-flight table",
+                self.unclaimed_messages
+            ));
+        }
+        if self.unexpected_leftovers > 0 {
+            out.push(format!(
+                "{} unexpected-queue entr(ies) never matched by a receive",
+                self.unexpected_leftovers
+            ));
+        }
+        out
+    }
+
+    /// True when every invariant held. Leftover posted receives do not
+    /// count against cleanliness (the `M > N` rule over-posts on purpose).
+    pub fn is_clean(&self) -> bool {
+        self.issues().is_empty()
+    }
+
+    /// Total sends posted across all ranks.
+    pub fn total_sends_posted(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.sends_posted).sum()
+    }
+
+    /// Total receives completed across all ranks.
+    pub fn total_recvs_completed(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.recvs_completed).sum()
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let issues = self.issues();
+        if issues.is_empty() {
+            write!(
+                f,
+                "audit clean: {} sends, {} recvs, {} bytes conserved ({} over-posted recv(s))",
+                self.total_sends_posted(),
+                self.total_recvs_completed(),
+                self.send_posted_bytes,
+                self.leftover_posted_recvs
+            )
+        } else {
+            writeln!(f, "audit found {} issue(s):", issues.len())?;
+            for (i, issue) in issues.iter().enumerate() {
+                if i > 0 {
+                    writeln!(f)?;
+                }
+                write!(f, "  - {issue}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_report() -> AuditReport {
+        AuditReport {
+            send_posted_bytes: 100,
+            recv_completed_bytes: 100,
+            net_injected_bytes: 140,
+            net_delivered_bytes: 140,
+            copy_posted_bytes: 40,
+            copy_completed_bytes: 40,
+            per_rank: vec![
+                RankAudit {
+                    sends_posted: 2,
+                    sends_completed: 2,
+                    recvs_posted: 3,
+                    recvs_completed: 1,
+                },
+                RankAudit {
+                    sends_posted: 1,
+                    sends_completed: 1,
+                    recvs_posted: 2,
+                    recvs_completed: 2,
+                },
+            ],
+            leftover_posted_recvs: 2,
+            ..AuditReport::default()
+        }
+    }
+
+    #[test]
+    fn clean_report_has_no_issues() {
+        let r = clean_report();
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.total_sends_posted(), 3);
+        assert_eq!(r.total_recvs_completed(), 3);
+        assert!(r.to_string().starts_with("audit clean"));
+    }
+
+    #[test]
+    fn overposted_receives_do_not_dirty_the_report() {
+        // The M > N receive-window rule legitimately leaves posted
+        // receives unmatched.
+        let mut r = clean_report();
+        r.leftover_posted_recvs = 17;
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn byte_mismatch_is_reported() {
+        let mut r = clean_report();
+        r.recv_completed_bytes = 90;
+        assert!(!r.is_clean());
+        assert!(r.issues().iter().any(|i| i.contains("byte conservation")));
+    }
+
+    #[test]
+    fn send_completion_mismatch_names_the_rank() {
+        let mut r = clean_report();
+        r.per_rank[1].sends_completed = 0;
+        let issues = r.issues();
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].starts_with("rank 1:"), "{issues:?}");
+    }
+
+    #[test]
+    fn causality_and_queue_inconsistency_are_reported() {
+        let mut r = clean_report();
+        r.queue.causality_violations = 3;
+        r.queue.reported_live = 5;
+        r.queue.actual_live = 4;
+        r.queue.heap_total = 6;
+        let issues = r.issues();
+        assert_eq!(issues.len(), 2, "{issues:?}");
+        assert!(r.to_string().contains("2 issue(s)"));
+    }
+
+    #[test]
+    fn unclaimed_and_unexpected_leftovers_are_dirty() {
+        let mut r = clean_report();
+        r.unclaimed_messages = 1;
+        r.unexpected_leftovers = 2;
+        assert_eq!(r.issues().len(), 2);
+    }
+}

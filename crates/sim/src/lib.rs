@@ -10,12 +10,14 @@
 //! [`rng::MasterSeed`], a simulation built on this crate
 //! produces identical virtual-time results on every run.
 
+pub mod audit;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use queue::{EventKey, EventQueue};
+pub use audit::{AuditReport, RankAudit};
+pub use queue::{EventKey, EventQueue, QueueAudit};
 pub use rng::{MasterSeed, StreamTag};
 pub use stats::Summary;
 pub use time::{Duration, Time};

@@ -5,19 +5,36 @@
 //! the same instant pop in insertion order. This makes every simulation run
 //! a pure function of its inputs and seeds.
 //!
-//! Cancellation is supported through [`EventKey`] epochs: `cancel` marks a
+//! Cancellation is supported through [`EventKey`]s: `cancel` marks a
 //! scheduled entry dead without paying for heap surgery, and dead entries
-//! are skipped on pop (lazy deletion).
+//! are skipped on pop (lazy deletion). Liveness is tracked by a single
+//! `pending` set holding exactly the sequence numbers that are scheduled
+//! and not yet popped or cancelled, so cancelling an event that has already
+//! fired (or was already cancelled) is a detectable no-op rather than a
+//! corruption of the live count, and the bookkeeping never outgrows the
+//! heap contents.
 
 use crate::time::Time;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Sequence number reserved for [`EventKey::default`]. `schedule` hands out
+/// sequence numbers counting up from zero, so this value is never assigned
+/// to a real event.
+const SENTINEL_SEQ: u64 = u64::MAX;
 
 /// Handle to a scheduled event, usable for cancellation. The default key
-/// is a placeholder that never matches a live event.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+/// is a reserved sentinel (`u64::MAX`) that never matches a live event:
+/// cancelling it is always a no-op returning `false`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventKey {
     seq: u64,
+}
+
+impl Default for EventKey {
+    fn default() -> Self {
+        EventKey { seq: SENTINEL_SEQ }
+    }
 }
 
 struct Entry<E> {
@@ -46,16 +63,44 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Internal-consistency snapshot of an [`EventQueue`], used by the
+/// simulator-wide audit layer ([`crate::audit::AuditReport`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueAudit {
+    /// Live events as reported by [`EventQueue::len`] (the `pending` set
+    /// size).
+    pub reported_live: usize,
+    /// Live events actually present in the heap (full scan counting
+    /// entries whose sequence is in the pending set).
+    pub actual_live: usize,
+    /// Total heap entries, including cancelled debris awaiting lazy
+    /// removal.
+    pub heap_total: usize,
+    /// Number of schedule calls that targeted the past and were clamped
+    /// forward (see [`EventQueue::schedule`]).
+    pub causality_violations: u64,
+}
+
+impl QueueAudit {
+    /// True when the reported live count matches the heap contents.
+    pub fn is_consistent(&self) -> bool {
+        self.reported_live == self.actual_live && self.actual_live <= self.heap_total
+    }
+}
+
 /// A deterministic time-ordered event queue.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Sorted-on-demand list of cancelled sequence numbers (lazy deletion).
-    cancelled: std::collections::HashSet<u64>,
-    /// Number of live (non-cancelled) entries.
-    live: usize,
+    /// Sequence numbers that are scheduled and neither popped nor
+    /// cancelled. An entry in the heap is live iff its seq is here, so
+    /// `pending.len()` is the live count and cancellation bookkeeping is
+    /// bounded by heap occupancy.
+    pending: HashSet<u64>,
     /// Last time popped; used to detect causality violations.
     last_popped: Time,
+    /// Schedule calls that targeted the past and were clamped forward.
+    causality_violations: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -70,52 +115,45 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
-            live: 0,
+            pending: HashSet::new(),
             last_popped: Time::ZERO,
+            causality_violations: 0,
         }
     }
 
     /// Schedule `payload` at absolute time `time`.
     ///
     /// Scheduling in the past (before the last popped event) is a logic
-    /// error in the caller; it is clamped forward to preserve causality and
-    /// flagged with a debug assertion.
+    /// error in the caller; it is clamped forward to preserve causality
+    /// and counted in [`EventQueue::causality_violations`] so the audit
+    /// layer can report it instead of the bug silently disappearing.
     pub fn schedule(&mut self, time: Time, payload: E) -> EventKey {
-        debug_assert!(
-            time >= self.last_popped,
-            "scheduled event at {time:?} before current time {:?}",
-            self.last_popped
-        );
+        if time < self.last_popped {
+            self.causality_violations += 1;
+        }
         let time = time.max(self.last_popped);
         let seq = self.next_seq;
+        assert!(seq != SENTINEL_SEQ, "event sequence space exhausted");
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
-        self.live += 1;
+        self.pending.insert(seq);
         EventKey { seq }
     }
 
     /// Cancel a previously scheduled event. Returns true if the event was
-    /// still pending (i.e. had not been popped or already cancelled).
+    /// still pending — i.e. scheduled and not yet popped or cancelled.
+    /// Cancelling a popped event, a cancelled event, or the default
+    /// sentinel key is a no-op returning false and leaves `len()` intact.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        // An event that was already popped has its seq below entries still in
-        // the heap only probabilistically, so track cancellations by set; a
-        // seq that is not in the heap any more simply never matches on pop.
-        if self.cancelled.insert(key.seq) {
-            self.live = self.live.saturating_sub(1);
-            true
-        } else {
-            false
-        }
+        self.pending.remove(&key.seq)
     }
 
     /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled entry: lazy deletion
             }
-            self.live -= 1;
             self.last_popped = entry.time;
             return Some((entry.time, entry.payload));
         }
@@ -125,30 +163,50 @@ impl<E> EventQueue<E> {
     /// Time of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<Time> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.time);
             }
-            return Some(entry.time);
+            self.heap.pop();
         }
         None
     }
 
     /// Number of live scheduled events.
     pub fn len(&self) -> usize {
-        self.live
+        self.pending.len()
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.pending.is_empty()
     }
 
     /// The time of the last popped event (the queue's notion of "now").
     pub fn now(&self) -> Time {
         self.last_popped
+    }
+
+    /// Number of schedule calls that targeted an instant before `now()`
+    /// and were clamped forward.
+    pub fn causality_violations(&self) -> u64 {
+        self.causality_violations
+    }
+
+    /// Cross-check the reported live count against the actual heap
+    /// contents (O(heap) scan; intended for end-of-run audits, not the
+    /// hot path).
+    pub fn audit(&self) -> QueueAudit {
+        let actual_live = self
+            .heap
+            .iter()
+            .filter(|e| self.pending.contains(&e.seq))
+            .count();
+        QueueAudit {
+            reported_live: self.pending.len(),
+            actual_live,
+            heap_total: self.heap.len(),
+            causality_violations: self.causality_violations,
+        }
     }
 }
 
@@ -218,5 +276,89 @@ mod tests {
         q.schedule(Time(2), ());
         q.cancel(a);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn default_key_cancel_is_a_noop() {
+        // Regression: the default key used to carry seq 0, colliding with
+        // the first scheduled event — cancelling a placeholder key would
+        // silently kill it.
+        let mut q = EventQueue::new();
+        assert!(!q.cancel(EventKey::default()), "fresh queue: no-op");
+        let first = q.schedule(Time(1), "first");
+        assert!(!q.cancel(EventKey::default()), "must not match seq 0");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time(1), "first")));
+        assert!(!q.cancel(first), "already popped");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_pop_is_a_noop() {
+        // Regression: cancel used to return true for already-popped keys,
+        // decrementing the live count below reality and leaking an entry
+        // in the cancelled set forever.
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time(1), "a");
+        q.schedule(Time(2), "b");
+        assert_eq!(q.pop(), Some((Time(1), "a")));
+        assert!(!q.cancel(a), "popped event is not cancellable");
+        assert_eq!(q.len(), 1, "live count untouched by the failed cancel");
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((Time(2), "b")));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_then_reschedule_cycles_stay_bounded_and_consistent() {
+        // The drain-reschedule pattern the network engine uses: schedule a
+        // replacement, cancel the old event, repeat. Bookkeeping must not
+        // grow without bound and len() must match the heap at every step.
+        let mut q = EventQueue::new();
+        let mut key = q.schedule(Time(10), 0u32);
+        for i in 1..1000u32 {
+            let new = q.schedule(Time(10 + i as u64), i);
+            assert!(q.cancel(key));
+            key = new;
+            assert_eq!(q.len(), 1);
+        }
+        let audit = q.audit();
+        assert!(audit.is_consistent(), "{audit:?}");
+        assert_eq!(audit.reported_live, 1);
+        // Draining the queue clears the cancelled debris too.
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+        let audit = q.audit();
+        assert_eq!(audit.heap_total, 0, "no leaked entries: {audit:?}");
+        assert!(audit.is_consistent());
+    }
+
+    #[test]
+    fn causality_violations_are_counted_and_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(Time(100), "late");
+        assert_eq!(q.pop(), Some((Time(100), "late")));
+        assert_eq!(q.causality_violations(), 0);
+        // Scheduling before now() clamps forward and counts.
+        q.schedule(Time(50), "past");
+        assert_eq!(q.causality_violations(), 1);
+        assert_eq!(q.pop(), Some((Time(100), "past")));
+        assert_eq!(q.audit().causality_violations, 1);
+    }
+
+    #[test]
+    fn audit_matches_reality_through_mixed_operations() {
+        let mut q = EventQueue::new();
+        let keys: Vec<EventKey> = (0..20).map(|i| q.schedule(Time(i), i)).collect();
+        for k in keys.iter().step_by(3) {
+            q.cancel(*k);
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        let audit = q.audit();
+        assert!(audit.is_consistent(), "{audit:?}");
+        assert_eq!(audit.reported_live, q.len());
     }
 }

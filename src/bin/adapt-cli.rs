@@ -82,6 +82,7 @@ fn main() {
             "  events={} messages={} rendezvous={}",
             stats.events, stats.messages, stats.rendezvous
         );
+        println!("  audit: clean (invariants asserted by the runner)");
         return;
     }
 
@@ -155,6 +156,7 @@ fn main() {
                 "  events={} messages={} unexpected={}",
                 res.stats.events, res.stats.messages, res.stats.unexpected_matches
             );
+            println!("  {}", res.audit);
             return;
         }
         _ => {}
@@ -194,6 +196,7 @@ fn main() {
             res.makespan.as_micros_f64(),
             res.trace.len()
         );
+        println!("  {}", res.audit);
         return;
     }
     let (us, stats) = run_once_scoped(&case, NoiseScope::PerNode, noise, seed);
@@ -205,4 +208,5 @@ fn main() {
         "  events={} messages={} rendezvous={} unexpected={}",
         stats.events, stats.messages, stats.rendezvous, stats.unexpected_matches
     );
+    println!("  audit: clean (invariants asserted by the runner)");
 }

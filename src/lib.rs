@@ -89,7 +89,7 @@ pub mod prelude {
         ScanSpec, ScatterSpec, TopoTreeConfig, Tree, TreeKind,
     };
     pub use adapt_gpu::{run_gpu_once, GpuBcastSpec, GpuCase, GpuLibrary};
-    pub use adapt_mpi::{Completion, Payload, ProgramCtx, RankProgram, Token, World};
+    pub use adapt_mpi::{AuditReport, Completion, Payload, ProgramCtx, RankProgram, Token, World};
     pub use adapt_noise::{ClusterNoise, NoiseSpec};
     pub use adapt_sim::rng::MasterSeed;
     pub use adapt_sim::time::{Duration, Time};

@@ -22,6 +22,7 @@ fn facade_broadcast_delivers_real_data() {
     };
     let world = World::cpu(machine, nranks, ClusterNoise::silent(nranks));
     let res = world.run(spec.programs());
+    assert!(res.audit.is_clean(), "{}", res.audit);
     for (r, p) in res.programs.into_iter().enumerate() {
         let any: Box<dyn std::any::Any> = p;
         let b = any.downcast::<adapt::core::AdaptBcast>().unwrap();
@@ -69,6 +70,7 @@ fn facade_reduce_is_numerically_exact_under_noise() {
     );
     let world = World::cpu(machine, nranks, noise);
     let res = world.run(spec.programs());
+    assert!(res.audit.is_clean(), "{}", res.audit);
     let root: Box<dyn std::any::Any> = res.programs.into_iter().next().unwrap();
     let root = root.downcast::<adapt::core::AdaptReduce>().unwrap();
     assert_eq!(
@@ -90,7 +92,7 @@ fn noise_resistance_ordering_holds_end_to_end() {
     let nranks = 32;
     let slowdown = |library: Library| {
         let mk = |noise: f64| {
-            adapt::collectives::run_trial(&adapt::collectives::Trial {
+            let tr = adapt::collectives::run_trial(&adapt::collectives::Trial {
                 case: CollectiveCase {
                     machine: machine.clone(),
                     nranks,
@@ -103,8 +105,9 @@ fn noise_resistance_ordering_holds_end_to_end() {
                 iterations: 16,
                 repeats: 3,
                 seed: 4,
-            })
-            .mean_us
+            });
+            assert!(tr.audit.is_clean(), "{}", tr.audit);
+            tr.mean_us
         };
         mk(10.0) / mk(0.0)
     };
@@ -216,7 +219,9 @@ fn async_progress_overlaps_collective_with_compute() {
         // The rank "finishes" when the bcast does; the compute may still be
         // running — completion of the collective is what we time, like an
         // MPI_Ibcast + MPI_Wait around local work.
-        world.run(programs).makespan.as_millis_f64()
+        let res = world.run(programs);
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        res.makespan.as_millis_f64()
     };
 
     let with_progress = run(true);
@@ -244,6 +249,48 @@ fn full_stack_determinism() {
         run_once_scoped(&case, NoiseScope::AllRanks, 10.0, 77).0
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn audit_report_accounts_for_every_byte_and_event() {
+    // The invariant audit layer end to end: run an ADAPT broadcast with
+    // real data through the facade and check not only that the report is
+    // clean but that its counters line up with the world's own statistics
+    // and with each other.
+    let machine = profiles::minicluster(2, 2, 4);
+    let nranks = 16;
+    let placement = Placement::block_cpu(machine.shape, nranks);
+    let tree = Arc::new(topology_aware_tree(&placement, TopoTreeConfig::default()));
+    let spec = BcastSpec {
+        tree,
+        msg_bytes: 1 << 20,
+        cfg: AdaptConfig::default().with_seg_size(16 * 1024),
+        data: None,
+    };
+    let world = World::cpu(machine, nranks, ClusterNoise::silent(nranks));
+    let res = world.run(spec.programs());
+    let audit = &res.audit;
+    assert!(audit.is_clean(), "{audit}");
+    // Every message the runtime counted is a posted send in the audit.
+    assert_eq!(audit.total_sends_posted(), res.stats.messages);
+    // Conservation, spelled out: what the senders posted is what the
+    // receivers completed, and the network agrees (copies included).
+    assert_eq!(audit.send_posted_bytes, audit.recv_completed_bytes);
+    assert_eq!(
+        audit.net_delivered_bytes,
+        audit.send_posted_bytes + audit.copy_posted_bytes
+    );
+    assert_eq!(audit.net_delivered_bytes, res.stats.delivered_bytes);
+    // Receive bookkeeping closes: every posted receive either completed
+    // or is reported as an (legitimate, M > N style) leftover.
+    let posted: u64 = audit.per_rank.iter().map(|r| r.recvs_posted).sum();
+    assert_eq!(
+        posted,
+        audit.total_recvs_completed() + audit.leftover_posted_recvs
+    );
+    // The event queue's self-check ran and found the heap consistent.
+    assert!(audit.queue.is_consistent(), "{:?}", audit.queue);
+    assert_eq!(audit.queue.causality_violations, 0);
 }
 
 #[test]

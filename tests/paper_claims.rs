@@ -55,15 +55,16 @@ fn adapt_vs_waitall_on_same_tree() {
         "clean: event-driven {clean_adapt:.0}us must stay within 15% of Waitall {clean_topo:.0}us"
     );
     let noisy = |library: Library| {
-        run_trial(&Trial {
+        let tr = run_trial(&Trial {
             case: case(library, OpKind::Bcast, 4 << 20),
             noise_percent: 10.0,
             scope: NoiseScope::AllRanks,
             iterations: 8,
             repeats: 3,
             seed: 6,
-        })
-        .mean_us
+        });
+        assert!(tr.audit.is_clean(), "{}", tr.audit);
+        tr.mean_us
     };
     let noisy_adapt = noisy(Library::OmpiAdapt);
     let noisy_topo = noisy(Library::OmpiDefaultTopo);
@@ -128,6 +129,46 @@ fn strong_scaling_is_nearly_flat() {
     );
 }
 
+/// Every comparator of the evaluation satisfies the simulator-wide
+/// invariant audit on both operations: bytes conserved from send to
+/// receive, completions matched per rank, no causality violations, and a
+/// consistent event queue. A figure produced by a run that fails these
+/// checks would not be worth plotting.
+#[test]
+fn every_comparator_passes_invariant_audit() {
+    let machine = profiles::minicluster(2, 2, 4);
+    let nranks = 16;
+    for library in [
+        Library::OmpiAdapt,
+        Library::OmpiDefault,
+        Library::OmpiDefaultTopo,
+        Library::OmpiBlocking,
+        Library::IntelMpi,
+        Library::CrayMpi,
+        Library::Mvapich,
+    ] {
+        for op in [OpKind::Bcast, OpKind::Reduce] {
+            let case = CollectiveCase {
+                machine: machine.clone(),
+                nranks,
+                op,
+                library,
+                msg_bytes: 1 << 20,
+            };
+            let world = World::cpu(machine.clone(), nranks, ClusterNoise::silent(nranks));
+            let res = world.run(case.programs());
+            assert!(
+                res.audit.is_clean(),
+                "{} {op:?}: {}",
+                library.label(),
+                res.audit
+            );
+            assert_eq!(res.audit.total_sends_posted(), res.stats.messages);
+            assert_eq!(res.audit.net_delivered_bytes, res.stats.delivered_bytes);
+        }
+    }
+}
+
 /// §2.2.1: a deeper receive window M "minimizes the chance of unexpected
 /// segments" (the paper's wording — eager bursts can still outrun the
 /// window when the receiver's CPU lags). This is an eager-protocol
@@ -149,7 +190,11 @@ fn receive_window_rule() {
             data: None,
         };
         let world = World::cpu(machine.clone(), nranks, ClusterNoise::silent(nranks));
-        world.run(spec.programs()).stats.unexpected_matches
+        let res = world.run(spec.programs());
+        // Unexpected arrivals exercise the buffered-copy path; bytes must
+        // still be conserved through it.
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        res.stats.unexpected_matches
     };
     let deep = run_with(4, 12);
     let shallow = run_with(12, 2);
@@ -168,7 +213,9 @@ fn receive_window_rule() {
             data: None,
         };
         let world = World::cpu(machine.clone(), nranks, ClusterNoise::silent(nranks));
-        world.run(spec.programs()).stats.unexpected_matches
+        let res = world.run(spec.programs());
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        res.stats.unexpected_matches
     };
     assert_eq!(rndv, 0, "rendezvous segments are never unexpected");
 }

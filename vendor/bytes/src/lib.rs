@@ -1,0 +1,236 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, API-compatible subset of `bytes::Bytes`: a
+//! reference-counted, cheaply cloneable, zero-copy sliceable byte
+//! container. Only the surface this workspace actually uses is provided.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, zero-copy sliceable container of bytes.
+///
+/// Clones share the same backing allocation; [`Bytes::slice`] produces a
+/// view into the same allocation without copying.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A `Bytes` backed by a static slice (copied here; the real crate
+    /// borrows, but callers only rely on the value semantics).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(bytes)
+    }
+
+    /// Copy `data` into a new allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        let arc: Arc<[u8]> = Arc::from(data);
+        let len = arc.len();
+        Bytes {
+            data: arc,
+            start: 0,
+            end: len,
+        }
+    }
+
+    /// Number of bytes in this view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of this view, sharing the backing allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end, "slice range inverted: {begin} > {end}");
+        assert!(end <= len, "slice out of bounds: {end} > {len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Copy the view into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let arc: Arc<[u8]> = Arc::from(v);
+        let len = arc.len();
+        Bytes {
+            data: arc,
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Bytes {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Bytes {
+        Bytes::from(v.into_vec())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_share_storage() {
+        let b = Bytes::from((0u8..10).collect::<Vec<_>>());
+        let s = b.slice(2..5);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert_eq!(s.len(), 3);
+        let s2 = s.slice(1..);
+        assert_eq!(s2.as_ref(), &[3, 4]);
+    }
+
+    #[test]
+    fn equality_and_clone() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b, vec![1u8, 2, 3]);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_oob_panics() {
+        Bytes::from(vec![1u8, 2]).slice(0..3);
+    }
+}

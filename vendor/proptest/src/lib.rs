@@ -1,0 +1,499 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a deterministic property-testing harness covering the subset of
+//! the proptest 1.x API the test suites use: the [`proptest!`] macro with
+//! `#![proptest_config(..)]`, range / tuple / `Just` / `prop_oneof!` /
+//! `prop_map` / `collection::vec` / `bool::ANY` strategies, and the
+//! `prop_assert!` family.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports its case index and seed; the
+//!   index is stable because generation is deterministic.
+//! - **Deterministic generation.** Case `i` of test `t` always sees the
+//!   same inputs (seeded from a hash of the test path and `i`), so CI
+//!   failures reproduce locally without a persistence file.
+
+pub mod test_runner {
+    /// Failure raised by a `prop_assert!` inside a case body.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Per-test configuration (only `cases` is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) used for case inputs.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded from a test identifier and case index, so every run of a
+        /// given case sees identical inputs.
+        pub fn deterministic(test_path: &str, case: u64) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize in [0, bound).
+        pub fn below(&mut self, bound: usize) -> usize {
+            assert!(bound > 0, "below(0)");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// is just a deterministic sampler.
+    pub trait Strategy {
+        /// Type of value produced.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Type-erased strategy (cheaply cloneable).
+    pub struct BoxedStrategy<V>(std::rc::Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(std::rc::Rc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives ([`crate::prop_oneof!`]).
+    pub struct OneOf<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                    let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    (self.start as u128 + off as u128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128).wrapping_sub(start as u128) + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                    (start as u128 + off as u128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    start + (rng.next_f64() as $t) * (end - start)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait IntoLenRange {
+        /// Inclusive-exclusive bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoLenRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    /// Strategy yielding `Vec`s of values from `element`, with a length
+    /// drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        assert!(min < max, "empty length range");
+        VecStrategy { element, min, max }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below(self.max - self.min);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for a uniformly random `bool`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniformly random booleans (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod num {
+    //! Placeholder module so `proptest::num::...` paths resolve.
+}
+
+/// Everything a test file typically imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare deterministic property tests.
+///
+/// Supports the real macro's common form: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn` items whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            cfg = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expand one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..config.cases as u64 {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        // Weights are ignored; alternatives are sampled uniformly.
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest case body; failure aborts the case with a
+/// report instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a value-carrying message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!(a != b)` with a value-carrying message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, f in 0.5f64..2.0, b in crate::bool::ANY) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec((0u64..5, 0u64..5), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u32), (5u32..8).prop_map(|v| v * 10)]) {
+            prop_assert!(x == 1 || (50..80).contains(&x), "got {x}");
+        }
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = 0u64..1000;
+        let a: Vec<u64> = (0..20)
+            .map(|i| s.generate(&mut TestRng::deterministic("t", i)))
+            .collect();
+        let b: Vec<u64> = (0..20)
+            .map(|i| s.generate(&mut TestRng::deterministic("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a sequential shim: `par_iter` / `into_par_iter` return ordinary
+//! `std` iterators, which already provide `map`, `collect`, `sum`, etc.
+//! Results are bit-identical to the parallel versions (the bench harness
+//! only uses order-preserving combinators); the only difference is the
+//! absence of a parallel speedup.
+
+pub mod prelude {
+    /// `par_iter()` over a borrowed collection — sequential stand-in.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type produced.
+        type Item: 'a;
+        /// Iterate sequentially (stand-in for rayon's parallel iteration).
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a + Sync, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+        type Iter = std::slice::Iter<'a, T>;
+        type Item = &'a T;
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter()` — sequential stand-in.
+    pub trait IntoParallelIterator {
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type produced.
+        type Item;
+        /// Iterate sequentially (stand-in for rayon's parallel iteration).
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Alias so code naming the trait compiles; every `std` iterator
+    /// already has the combinators rayon's trait would add.
+    pub use std::iter::Iterator as ParallelIterator;
+}
+
+/// Run two closures "in parallel" (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let arr = [10u64, 20];
+        assert_eq!(arr.par_iter().sum::<u64>(), 30);
+        let squares: Vec<u32> = (0u32..4).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+    }
+}
