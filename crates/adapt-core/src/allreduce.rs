@@ -273,7 +273,9 @@ impl RankProgram for AdaptAllreduce {
                     .iter()
                     .position(|(pb, _)| *pb == b)
                     .expect("fold pending");
-                let (_, folded) = self.pending_folds.remove(pos);
+                // Stash order is irrelevant (blocks are unique keys), so the
+                // O(1) removal is safe.
+                let (_, folded) = self.pending_folds.swap_remove(pos);
                 if self.rank as u64 == b {
                     // Journey complete on this rank: finalize and start the
                     // allgather phase.

@@ -1,0 +1,45 @@
+//! The self-timed perf harness: hot-path microbenches plus the quick-scale
+//! fig8 end-to-end run, recorded as a benchmark trajectory.
+//!
+//! ```text
+//! cargo run --release -p adapt-bench --bin perf -- [--scale quick|full] \
+//!     [--out BENCH_PR2.json] [--baseline previous.json]
+//! ```
+//!
+//! With `--baseline`, the previous run's numbers are folded in as
+//! `before_*` fields with per-scenario speedups — that file is what makes
+//! each PR accountable to a number (see EXPERIMENTS.md, "Performance
+//! harness").
+
+use adapt_bench::perf::{parse_baseline, run_suite, to_json};
+use adapt_bench::{parse_args, CpuMachine, Scale};
+
+fn main() {
+    let args = parse_args();
+    let scale = Scale::from_args(&args);
+    let machine = CpuMachine::from_args(&args);
+    let out = args
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".into());
+
+    let results = run_suite(scale, machine);
+    for r in &results {
+        println!(
+            "{:<24} {:>10.2} ms  {:>12.0} events/s  probes={} share_recomputes={}",
+            r.name, r.wall_ms, r.events_per_sec, r.match_probes, r.share_recomputes
+        );
+    }
+
+    let baselines = match args.get("baseline") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            parse_baseline(&text)
+        }
+        None => Vec::new(),
+    };
+    let json = to_json(scale, &results, &baselines);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -18,6 +18,8 @@
 //! `--scale full|quick`; `quick` shrinks rank counts and iteration counts
 //! so the whole suite runs in minutes on a laptop.
 
+pub mod perf;
+
 use std::collections::HashMap;
 
 /// Crude `--key value` argument parser (no external deps).

@@ -1,0 +1,526 @@
+//! Self-timed performance harness for the simulator's hot paths.
+//!
+//! The vendored criterion is an API stub, so this module carries its own
+//! measurement loop: every scenario runs `warmup` throwaway iterations and
+//! then `k` timed iterations with [`std::time::Instant`], reporting the
+//! **median** wall-clock so one noisy iteration cannot skew a recorded
+//! number. Three scenarios cover the three per-event hot paths:
+//!
+//! | scenario | exercises |
+//! |---|---|
+//! | `matching_posted` | arrival matching against a long posted-receive list |
+//! | `matching_unexpected` | receive posting against long unexpected queues |
+//! | `flow_churn` | fair-share refresh on a congested link under flow churn |
+//! | `fig8_quick_bcast` | end-to-end 256-rank broadcast sweep (quick fig8) |
+//!
+//! `cargo run --release -p adapt-bench --bin perf` writes the results to
+//! `BENCH_PR2.json`; pass `--baseline old.json` to fold a previous run in
+//! as per-scenario `before_*` fields with computed speedups, which is how
+//! the repo's benchmark trajectory is recorded across PRs.
+
+use crate::{CpuMachine, Scale, FIG89_SIZES};
+use adapt_collectives::{run_once, CollectiveCase, Library, OpKind};
+use adapt_mpi::{Completion, Op, Payload, ProgramCtx, RankProgram, Token, World, WorldStats};
+use adapt_net::{FlowId, FlowScheduler, FlowSpec, Link, LinkClass, LinkId, NetStep, Network, Path};
+use adapt_noise::ClusterNoise;
+use adapt_sim::queue::{EventKey, EventQueue};
+use adapt_sim::time::{Duration as SimDuration, Time};
+use adapt_topology::profiles;
+use std::time::Instant;
+
+/// One measured scenario.
+#[derive(Clone, Debug)]
+pub struct PerfResult {
+    /// Scenario name (stable key in the JSON trajectory).
+    pub name: &'static str,
+    /// Median wall-clock across the timed iterations, milliseconds.
+    pub wall_ms: f64,
+    /// Simulator events processed in one iteration.
+    pub events: u64,
+    /// Events per wall-clock second (throughput figure of merit).
+    pub events_per_sec: f64,
+    /// Matching probes performed in one iteration (0 where untracked).
+    pub match_probes: u64,
+    /// Fair-share recomputations in one iteration (0 where untracked).
+    pub share_recomputes: u64,
+}
+
+/// Run `f` with `warmup` throwaway and `k` timed iterations; returns the
+/// median wall-clock in milliseconds plus the last iteration's payload.
+pub fn time_median<T>(warmup: usize, k: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(k >= 1);
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(k);
+    let mut last = None;
+    for _ in 0..k {
+        let start = Instant::now();
+        let out = f();
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[k / 2], last.expect("k >= 1"))
+}
+
+// ---------------------------------------------------------------------
+// Matching scenarios: a two-rank world where rank 0 floods rank 1.
+// ---------------------------------------------------------------------
+
+/// Rank 0: send `count` eager messages to rank 1, tags in *descending*
+/// order (worst case for a linear posted-list scan), `window` outstanding
+/// at a time so the network stays small while the match lists stay long.
+struct FloodSender {
+    count: u32,
+    window: u32,
+    bytes: u64,
+    next: u32,
+    inflight: u32,
+}
+
+impl FloodSender {
+    fn pump(&mut self, ctx: &mut dyn ProgramCtx) {
+        while self.next < self.count && self.inflight < self.window {
+            let tag = self.count - 1 - self.next; // descending tags
+            ctx.post(Op::Isend {
+                dst: 1,
+                tag,
+                payload: Payload::Synthetic(self.bytes),
+                token: Token(tag as u64),
+                src_mem: None,
+            });
+            self.next += 1;
+            self.inflight += 1;
+        }
+        if self.next == self.count && self.inflight == 0 {
+            ctx.post(Op::Finish);
+        }
+    }
+}
+
+impl RankProgram for FloodSender {
+    fn on_start(&mut self, ctx: &mut dyn ProgramCtx) {
+        self.pump(ctx);
+    }
+    fn on_completion(&mut self, ctx: &mut dyn ProgramCtx, c: Completion) {
+        if matches!(c, Completion::SendDone { .. }) {
+            self.inflight -= 1;
+        }
+        self.pump(ctx);
+    }
+}
+
+/// Rank 1 (posted-scan stress): pre-post all `count` receives with exact
+/// ascending tags, then count completions. Descending-tag arrivals force
+/// a deep scan of the posted list on every match.
+struct PrePoster {
+    count: u32,
+    done: u32,
+}
+
+impl RankProgram for PrePoster {
+    fn on_start(&mut self, ctx: &mut dyn ProgramCtx) {
+        for tag in 0..self.count {
+            ctx.irecv(0, tag, Token(tag as u64));
+        }
+    }
+    fn on_completion(&mut self, ctx: &mut dyn ProgramCtx, c: Completion) {
+        if matches!(c, Completion::RecvDone { .. }) {
+            self.done += 1;
+            if self.done == self.count {
+                ctx.finish();
+            }
+        }
+    }
+}
+
+/// Rank 1 (unexpected-scan stress): compute for a long time so every
+/// message lands unexpected, then post receives in *ascending* tag order —
+/// each post scans the unexpected queue (descending arrival tags) deeply.
+struct LatePoster {
+    count: u32,
+    delay: SimDuration,
+    done: u32,
+}
+
+impl RankProgram for LatePoster {
+    fn on_start(&mut self, ctx: &mut dyn ProgramCtx) {
+        ctx.compute(self.delay, Token(u64::MAX));
+    }
+    fn on_completion(&mut self, ctx: &mut dyn ProgramCtx, c: Completion) {
+        match c {
+            Completion::ComputeDone { .. } => {
+                for tag in 0..self.count {
+                    ctx.irecv(0, tag, Token(tag as u64));
+                }
+            }
+            Completion::RecvDone { .. } => {
+                self.done += 1;
+                if self.done == self.count {
+                    ctx.finish();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn matching_world(count: u32, bytes: u64, receiver: Box<dyn RankProgram>) -> WorldStats {
+    let spec = profiles::minicluster(1, 1, 2);
+    let world = World::cpu(spec, 2, ClusterNoise::silent(2));
+    let sender = Box::new(FloodSender {
+        count,
+        window: 32,
+        bytes,
+        next: 0,
+        inflight: 0,
+    });
+    let res = world.run(vec![sender, receiver]);
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    res.stats
+}
+
+/// Posted-receive matching throughput (descending arrivals vs a long
+/// pre-posted list).
+pub fn bench_matching_posted(scale: Scale) -> PerfResult {
+    let count = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 6_000,
+    };
+    let (wall_ms, stats) = time_median(1, 5, || {
+        matching_world(count, 1024, Box::new(PrePoster { count, done: 0 }))
+    });
+    result("matching_posted", wall_ms, stats)
+}
+
+/// Unexpected-queue matching throughput (late posts vs a long unexpected
+/// queue).
+pub fn bench_matching_unexpected(scale: Scale) -> PerfResult {
+    let count = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 6_000,
+    };
+    let (wall_ms, stats) = time_median(1, 5, || {
+        matching_world(
+            count,
+            1024,
+            Box::new(LatePoster {
+                count,
+                delay: SimDuration::from_millis(500),
+                done: 0,
+            }),
+        )
+    });
+    result("matching_unexpected", wall_ms, stats)
+}
+
+// ---------------------------------------------------------------------
+// Flow churn: drive the network engine directly.
+// ---------------------------------------------------------------------
+
+struct BenchSched(EventQueue<FlowId>);
+
+impl FlowScheduler for BenchSched {
+    fn schedule(&mut self, at: Time, flow: FlowId) -> EventKey {
+        self.0.schedule(at, flow)
+    }
+    fn cancel(&mut self, key: EventKey) {
+        self.0.cancel(key);
+    }
+}
+
+/// Start `flows` staggered flows over `lanes` endpoint lanes that all
+/// funnel through one backbone link, and drive the engine dry. This is the
+/// fan-in congestion pattern of a large reduce: every start and drain
+/// perturbs the shared bottleneck.
+pub fn bench_flow_churn(scale: Scale) -> PerfResult {
+    let (lanes, flows) = match scale {
+        Scale::Quick => (64u32, 6_000u64),
+        Scale::Full => (64u32, 20_000u64),
+    };
+    let (wall_ms, (events, perf)) = time_median(1, 5, || {
+        let mut links = vec![Link {
+            class: LinkClass::Backbone,
+            capacity: 100e9,
+            latency: SimDuration::from_nanos(500),
+        }];
+        for _ in 0..lanes {
+            links.push(Link {
+                class: LinkClass::NicTx(0),
+                capacity: 12e9,
+                latency: SimDuration::from_nanos(300),
+            });
+        }
+        let mut net = Network::new(links);
+        let mut q = BenchSched(EventQueue::new());
+        // Deterministic LCG for lane choice and stagger (no RNG dep).
+        let mut s: u64 = 0x9e3779b97f4a7c15;
+        let mut lcg = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut started = 0u64;
+        let mut events = 0u64;
+        let mut next_start = Time::ZERO;
+        // Seed a first batch; afterwards each delivery spawns a successor,
+        // keeping a steady churn of concurrent flows on the backbone.
+        for _ in 0..256 {
+            let lane = 1 + (lcg() % lanes as u64) as u32;
+            net.start_flow(
+                next_start,
+                FlowSpec {
+                    path: Path::new(&[LinkId(lane), LinkId(0)]),
+                    bytes: 64 * 1024 + (lcg() % 8) * 8 * 1024,
+                    tag: started,
+                },
+                &mut q,
+            );
+            started += 1;
+            next_start += SimDuration::from_nanos(lcg() % 2_000);
+        }
+        while let Some((t, fid)) = q.0.pop() {
+            events += 1;
+            if let NetStep::Delivered(_) = net.handle_event(t, fid, &mut q) {
+                if started < flows {
+                    let lane = 1 + (lcg() % lanes as u64) as u32;
+                    net.start_flow(
+                        t,
+                        FlowSpec {
+                            path: Path::new(&[LinkId(lane), LinkId(0)]),
+                            bytes: 64 * 1024 + (lcg() % 8) * 8 * 1024,
+                            tag: started,
+                        },
+                        &mut q,
+                    );
+                    started += 1;
+                }
+            }
+        }
+        assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.injected_bytes(), net.delivered_bytes());
+        (events, net.perf_counters())
+    });
+    PerfResult {
+        name: "flow_churn",
+        wall_ms,
+        events,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+        match_probes: 0,
+        share_recomputes: perf.share_recomputes,
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: quick-scale fig8 broadcast sweep at 256 ranks.
+// ---------------------------------------------------------------------
+
+/// The acceptance scenario: OMPI-adapt broadcast over the fig8 message
+/// sizes on a 256-rank Cori slice, one run per size, total wall-clock.
+pub fn bench_fig8_quick(scale: Scale) -> PerfResult {
+    let sizes: &[u64] = match scale {
+        Scale::Quick => &FIG89_SIZES,
+        Scale::Full => &FIG89_SIZES,
+    };
+    let spec = profiles::cori(8); // 8 nodes x 2 sockets x 16 cores = 256
+    let nranks = 256;
+    let (wall_ms, stats_sum) = time_median(1, 3, || {
+        let mut sum = WorldStats::default();
+        for &msg_bytes in sizes {
+            let case = CollectiveCase {
+                machine: spec.clone(),
+                nranks,
+                op: OpKind::Bcast,
+                library: Library::OmpiAdapt,
+                msg_bytes,
+            };
+            let (_us, stats) = run_once(&case, 0.0, 1);
+            sum.events += stats.events;
+            sum.match_probes += stats.match_probes;
+            sum.net_share_recomputes += stats.net_share_recomputes;
+        }
+        sum
+    });
+    result("fig8_quick_bcast_256", wall_ms, stats_sum)
+}
+
+fn result(name: &'static str, wall_ms: f64, stats: WorldStats) -> PerfResult {
+    PerfResult {
+        name,
+        wall_ms,
+        events: stats.events,
+        events_per_sec: stats.events as f64 / (wall_ms / 1e3),
+        match_probes: stats.match_probes,
+        share_recomputes: stats.net_share_recomputes,
+    }
+}
+
+/// Run the whole suite at the given scale.
+pub fn run_suite(scale: Scale, machine: CpuMachine) -> Vec<PerfResult> {
+    let _ = machine; // the end-to-end scenario pins Cori for comparability
+    vec![
+        bench_matching_posted(scale),
+        bench_matching_unexpected(scale),
+        bench_flow_churn(scale),
+        bench_fig8_quick(scale),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// JSON trajectory emission (hand-rolled; one key per line so a previous
+// file can be folded back in without a JSON parser).
+// ---------------------------------------------------------------------
+
+/// Baseline numbers extracted from a previous harness output.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Baseline {
+    wall_ms: f64,
+    events_per_sec: f64,
+    match_probes: u64,
+    share_recomputes: u64,
+}
+
+/// Extract per-scenario baseline numbers from a previous output of this
+/// harness. Line-oriented: relies on the emitter writing one key per line.
+pub fn parse_baseline(text: &str) -> Vec<(String, Baseline)> {
+    let mut out: Vec<(String, Baseline)> = Vec::new();
+    let field = |line: &str, key: &str| -> Option<String> {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\": "))?;
+        Some(rest.trim_end_matches(',').trim_matches('"').to_string())
+    };
+    for line in text.lines() {
+        if let Some(name) = field(line, "name") {
+            out.push((name, Baseline::default()));
+        } else if let Some((_, b)) = out.last_mut() {
+            if let Some(v) = field(line, "wall_ms") {
+                b.wall_ms = v.parse().unwrap_or(0.0);
+            } else if let Some(v) = field(line, "events_per_sec") {
+                b.events_per_sec = v.parse().unwrap_or(0.0);
+            } else if let Some(v) = field(line, "match_probes") {
+                b.match_probes = v.parse().unwrap_or(0);
+            } else if let Some(v) = field(line, "share_recomputes") {
+                b.share_recomputes = v.parse().unwrap_or(0);
+            }
+        }
+    }
+    out
+}
+
+/// Render the suite results (optionally with fold-in baselines) as the
+/// `BENCH_PR2.json` trajectory document.
+pub fn to_json(scale: Scale, results: &[PerfResult], baselines: &[(String, Baseline)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"pr\": 2,\n");
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    ));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"wall_ms\": {:.3},\n", r.wall_ms));
+        s.push_str(&format!("      \"events\": {},\n", r.events));
+        s.push_str(&format!(
+            "      \"events_per_sec\": {:.1},\n",
+            r.events_per_sec
+        ));
+        s.push_str(&format!("      \"match_probes\": {},\n", r.match_probes));
+        s.push_str(&format!(
+            "      \"share_recomputes\": {}",
+            r.share_recomputes
+        ));
+        if let Some((_, b)) = baselines.iter().find(|(n, _)| n == r.name) {
+            s.push_str(",\n");
+            s.push_str(&format!("      \"before_wall_ms\": {:.3},\n", b.wall_ms));
+            s.push_str(&format!(
+                "      \"before_events_per_sec\": {:.1},\n",
+                b.events_per_sec
+            ));
+            s.push_str(&format!(
+                "      \"before_match_probes\": {},\n",
+                b.match_probes
+            ));
+            s.push_str(&format!(
+                "      \"before_share_recomputes\": {},\n",
+                b.share_recomputes
+            ));
+            let speedup = if r.wall_ms > 0.0 {
+                b.wall_ms / r.wall_ms
+            } else {
+                0.0
+            };
+            s.push_str(&format!("      \"speedup\": {speedup:.2}\n"));
+        } else {
+            s.push('\n');
+        }
+        s.push_str("    }");
+        if i + 1 < results.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut i = 0;
+        let (ms, _) = time_median(0, 3, || {
+            i += 1;
+            if i == 2 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        assert!(ms < 5.0, "median {ms} should dodge the 5ms outlier");
+    }
+
+    #[test]
+    fn json_roundtrips_through_baseline_parser() {
+        let results = vec![PerfResult {
+            name: "matching_posted",
+            wall_ms: 12.5,
+            events: 1000,
+            events_per_sec: 80_000.0,
+            match_probes: 42,
+            share_recomputes: 7,
+        }];
+        let json = to_json(Scale::Quick, &results, &[]);
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "matching_posted");
+        assert!((parsed[0].1.wall_ms - 12.5).abs() < 1e-9);
+        assert_eq!(parsed[0].1.match_probes, 42);
+        // And the fold-in path emits speedups.
+        let merged = to_json(Scale::Quick, &results, &parsed);
+        assert!(merged.contains("\"speedup\": 1.00"));
+    }
+
+    #[test]
+    fn matching_worlds_run_clean_at_tiny_scale() {
+        let stats = matching_world(64, 1024, Box::new(PrePoster { count: 64, done: 0 }));
+        assert_eq!(stats.messages, 64);
+        let stats = matching_world(
+            64,
+            1024,
+            Box::new(LatePoster {
+                count: 64,
+                delay: SimDuration::from_millis(50),
+                done: 0,
+            }),
+        );
+        assert_eq!(stats.unexpected_matches, 64);
+        assert!(stats.match_probes > 0);
+    }
+}

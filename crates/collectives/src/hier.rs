@@ -17,9 +17,9 @@ use crate::waitall::{DataSlot, WaitallBcast, WaitallReduce};
 use adapt_core::{Tree, TreeKind};
 use adapt_mpi::program::{any_tag_in_block, ANY_TAG, TAG_BLOCK};
 use adapt_mpi::{Completion, Op, Payload, ProgramCtx, RankProgram, Token};
+use adapt_sim::fxhash::FxHashMap;
 use adapt_topology::{Hierarchy, Placement};
 use bytes::Bytes;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Tag range reserved per phase (segment/block tags must stay below this).
@@ -42,7 +42,7 @@ fn phase_offset(index: usize) -> u32 {
 pub struct PhasedProgram {
     phases: Vec<Option<Box<dyn RankProgram>>>,
     current: usize,
-    tokens: HashMap<u64, Token>,
+    tokens: FxHashMap<u64, Token>,
     next_token: u64,
     /// Completion time, for inspection after the run.
     pub finished_at: Option<adapt_sim::time::Time>,
@@ -54,7 +54,7 @@ impl PhasedProgram {
         PhasedProgram {
             phases: phases.into_iter().map(Some).collect(),
             current: 0,
-            tokens: HashMap::new(),
+            tokens: FxHashMap::default(),
             next_token: 0,
             finished_at: None,
         }
@@ -137,7 +137,7 @@ impl RankProgram for PhasedProgram {
 struct PhasedCtx<'a> {
     inner: &'a mut dyn ProgramCtx,
     tag_offset: u32,
-    tokens: &'a mut HashMap<u64, Token>,
+    tokens: &'a mut FxHashMap<u64, Token>,
     next_token: &'a mut u64,
     finished: &'a mut bool,
 }

@@ -33,9 +33,9 @@
 
 use crate::payload::Payload;
 use crate::program::{Completion, ProgramCtx, RankProgram, Tag, Token};
+use adapt_sim::fxhash::FxHashMap;
 use adapt_sim::time::Duration;
 use adapt_topology::Rank;
-use std::collections::HashMap;
 
 /// A single-shot completion callback.
 type Handler = Box<dyn FnMut(&mut Cb<'_, '_>, Completion)>;
@@ -107,7 +107,7 @@ type StartFn = Box<dyn FnOnce(&mut Cb<'_, '_>)>;
 /// A rank program assembled from closures (see module docs).
 pub struct CallbackProgram {
     start: Option<StartFn>,
-    handlers: HashMap<u64, Handler>,
+    handlers: FxHashMap<u64, Handler>,
     next_token: u64,
 }
 
@@ -116,7 +116,7 @@ impl CallbackProgram {
     pub fn new(start: impl FnOnce(&mut Cb<'_, '_>) + 'static) -> CallbackProgram {
         CallbackProgram {
             start: Some(Box::new(start)),
-            handlers: HashMap::new(),
+            handlers: FxHashMap::default(),
             next_token: 0,
         }
     }

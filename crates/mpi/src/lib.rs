@@ -15,6 +15,7 @@
 pub mod analysis;
 pub mod callbacks;
 pub mod datatype;
+mod matching;
 pub mod payload;
 pub mod program;
 pub mod world;

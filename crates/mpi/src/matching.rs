@@ -1,0 +1,494 @@
+//! Indexed MPI message matching.
+//!
+//! MPI matching is FIFO *per matching key*: an arriving message takes the
+//! earliest-posted receive it is compatible with, and a newly posted
+//! receive takes the earliest-arrived compatible unexpected message. The
+//! seed implementation kept one flat `Vec` per rank and scanned it per
+//! operation — O(queue length) per event, which dominates the progress
+//! engine once collectives keep hundreds of receives outstanding (the M>N
+//! over-posting the paper's §2.2.1 recommends makes this *worse* the
+//! better the algorithm is used).
+//!
+//! This module replaces the scans with two-level indexes keyed by
+//! `(source, tag)`:
+//!
+//! * [`PostedQueue`] — posted receives. Specific-tag receives live in
+//!   per-`(src, tag)` FIFO deques; wildcard-tag receives ([`ANY_TAG`] and
+//!   block wildcards) live in a per-source deque in posting order. An
+//!   arrival consults the front of its exact deque plus the wildcard deque
+//!   in posting order, and takes whichever compatible candidate was posted
+//!   first — bit-identical to the old first-posted scan, but the wildcard
+//!   walk stops as soon as posting seqs exceed the exact candidate's.
+//! * [`UnexpQueue`] — unexpected messages (eager data or RTS). Arrivals
+//!   are dual-indexed by `(src, tag)` and by source in arrival order; a
+//!   specific-tag receive pops the front of its `(src, tag)` deque, a
+//!   wildcard receive walks the per-source deque. An entry matched through
+//!   one index leaves a tombstone in the other, reclaimed lazily.
+//!
+//! Every mutating call additionally runs the seed's linear scan over a
+//! shadow `Vec` in debug builds and asserts the same pick
+//! (`debug_assert!`), so the whole test suite cross-checks the index
+//! against the reference semantics.
+
+use crate::program::{tag_matches, Tag, Token, ANY_TAG, WILDCARD_BIT};
+use adapt_sim::fxhash::{FxHashMap, FxHashSet};
+use adapt_topology::{MemSpace, Rank};
+use std::collections::VecDeque;
+
+/// Message id in the runtime's in-flight table.
+pub(crate) type MsgId = u64;
+
+/// A receive posted by a rank, waiting for its message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PostedRecv {
+    pub src: Rank,
+    pub tag: Tag,
+    pub token: Token,
+    pub mem: MemSpace,
+}
+
+/// Is this posted tag a wildcard (matches more than one message tag)?
+fn is_wild(tag: Tag) -> bool {
+    tag == ANY_TAG || tag & WILDCARD_BIT != 0
+}
+
+/// Posted-receive index for one rank. See the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct PostedQueue {
+    /// Specific-tag receives, FIFO per `(src, tag)`.
+    exact: FxHashMap<(Rank, Tag), VecDeque<(u64, PostedRecv)>>,
+    /// Wildcard-tag receives per source, in posting order.
+    wild: FxHashMap<Rank, VecDeque<(u64, PostedRecv)>>,
+    /// Posting-order counter; the tie-breaker between the two indexes.
+    seq: u64,
+    len: usize,
+    /// Reference copy running the seed's linear scan (debug builds only).
+    #[cfg(debug_assertions)]
+    shadow: Vec<PostedRecv>,
+}
+
+impl PostedQueue {
+    /// Number of receives currently posted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Record a newly posted receive.
+    pub fn push(&mut self, pr: PostedRecv) {
+        let s = self.seq;
+        self.seq += 1;
+        if is_wild(pr.tag) {
+            self.wild.entry(pr.src).or_default().push_back((s, pr));
+        } else {
+            self.exact
+                .entry((pr.src, pr.tag))
+                .or_default()
+                .push_back((s, pr));
+        }
+        self.len += 1;
+        #[cfg(debug_assertions)]
+        self.shadow.push(pr);
+    }
+
+    /// Match an arriving message against the earliest-posted compatible
+    /// receive. Returns the receive (removed from the queue) and the
+    /// number of index entries probed.
+    pub fn match_arrival(&mut self, src: Rank, tag: Tag) -> (Option<PostedRecv>, u64) {
+        let mut probes = 0u64;
+        let exact_seq = match self.exact.get(&(src, tag)) {
+            Some(q) if !q.is_empty() => {
+                probes += 1;
+                Some(q[0].0)
+            }
+            _ => None,
+        };
+        // Earliest compatible wildcard, scanned in posting order; stop once
+        // posting seqs pass the exact candidate (later entries cannot win).
+        let mut wild_pick: Option<(u64, usize)> = None;
+        if let Some(q) = self.wild.get(&src) {
+            for (i, (s, pr)) in q.iter().enumerate() {
+                if exact_seq.is_some_and(|es| es < *s) {
+                    break;
+                }
+                probes += 1;
+                if tag_matches(pr.tag, tag) {
+                    wild_pick = Some((*s, i));
+                    break;
+                }
+            }
+        }
+        let hit = match (exact_seq, wild_pick) {
+            (Some(_), None) => self.pop_exact(src, tag),
+            (Some(es), Some((ws, i))) => {
+                if es < ws {
+                    self.pop_exact(src, tag)
+                } else {
+                    self.pop_wild(src, i)
+                }
+            }
+            (None, Some((_, i))) => self.pop_wild(src, i),
+            (None, None) => None,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let pos = self
+                .shadow
+                .iter()
+                .position(|p| p.src == src && tag_matches(p.tag, tag));
+            let want = pos.map(|p| self.shadow.remove(p));
+            debug_assert_eq!(
+                hit, want,
+                "posted-receive index diverged from linear scan for ({src}, {tag})"
+            );
+        }
+        (hit, probes)
+    }
+
+    fn pop_exact(&mut self, src: Rank, tag: Tag) -> Option<PostedRecv> {
+        let q = self.exact.get_mut(&(src, tag))?;
+        let (_, pr) = q.pop_front()?;
+        if q.is_empty() {
+            self.exact.remove(&(src, tag));
+        }
+        self.len -= 1;
+        Some(pr)
+    }
+
+    fn pop_wild(&mut self, src: Rank, i: usize) -> Option<PostedRecv> {
+        let q = self.wild.get_mut(&src)?;
+        let (_, pr) = q.remove(i)?;
+        if q.is_empty() {
+            self.wild.remove(&src);
+        }
+        self.len -= 1;
+        Some(pr)
+    }
+
+    /// All posted receives as `(src, tag)` pairs (deadlock diagnostics).
+    pub fn entries(&self) -> Vec<(Rank, Tag)> {
+        let mut all: Vec<(u64, Rank, Tag)> = self
+            .exact
+            .values()
+            .flatten()
+            .chain(self.wild.values().flatten())
+            .map(|(s, pr)| (*s, pr.src, pr.tag))
+            .collect();
+        all.sort_unstable();
+        all.into_iter().map(|(_, s, t)| (s, t)).collect()
+    }
+}
+
+/// Unexpected-message index for one rank (eager data or RTS handshakes —
+/// the runtime keeps one instance per protocol class). See the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct UnexpQueue {
+    /// Arrival-order FIFO per `(src, tag)`.
+    by_src_tag: FxHashMap<(Rank, Tag), VecDeque<(u64, MsgId)>>,
+    /// Arrival-order FIFO per source (wildcard receives walk this).
+    by_src: FxHashMap<Rank, VecDeque<(u64, MsgId, Tag)>>,
+    /// Entries matched through the *other* index; reclaimed lazily.
+    dead: FxHashSet<MsgId>,
+    /// Arrival-order counter.
+    seq: u64,
+    len: usize,
+    /// Reference copy running the seed's linear scan (debug builds only).
+    #[cfg(debug_assertions)]
+    shadow: Vec<(MsgId, Rank, Tag)>,
+}
+
+impl UnexpQueue {
+    /// Number of live (unmatched) messages queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Record an arrival that found no posted receive.
+    pub fn push(&mut self, src: Rank, tag: Tag, id: MsgId) {
+        let s = self.seq;
+        self.seq += 1;
+        self.by_src_tag
+            .entry((src, tag))
+            .or_default()
+            .push_back((s, id));
+        self.by_src.entry(src).or_default().push_back((s, id, tag));
+        self.len += 1;
+        #[cfg(debug_assertions)]
+        self.shadow.push((id, src, tag));
+    }
+
+    /// Match a newly posted receive (exact source, possibly wildcard tag)
+    /// against the earliest-arrived compatible message. Returns the
+    /// message id (removed from the queue) and the entries probed.
+    pub fn match_posted(&mut self, src: Rank, tag: Tag) -> (Option<MsgId>, u64) {
+        let mut probes = 0u64;
+        let hit = if is_wild(tag) {
+            let mut pick = None;
+            if let Some(q) = self.by_src.get_mut(&src) {
+                // Reclaim tombstones that have reached the front.
+                while let Some((_, id, _)) = q.front() {
+                    if self.dead.remove(id) {
+                        q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                for (i, (_, id, mtag)) in q.iter().enumerate() {
+                    probes += 1;
+                    if !self.dead.contains(id) && tag_matches(tag, *mtag) {
+                        pick = Some(i);
+                        break;
+                    }
+                }
+                if let Some(i) = pick {
+                    let (_, id, _) = q.remove(i).expect("picked entry present");
+                    if q.is_empty() {
+                        self.by_src.remove(&src);
+                    }
+                    // Tombstone the (src, tag) side.
+                    self.dead.insert(id);
+                    self.len -= 1;
+                    Some(id)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        } else {
+            let mut found = None;
+            if let Some(q) = self.by_src_tag.get_mut(&(src, tag)) {
+                while let Some((_, id)) = q.front() {
+                    probes += 1;
+                    let id = *id;
+                    if self.dead.remove(&id) {
+                        q.pop_front();
+                        continue;
+                    }
+                    q.pop_front();
+                    found = Some(id);
+                    break;
+                }
+                if q.is_empty() {
+                    self.by_src_tag.remove(&(src, tag));
+                }
+            }
+            if let Some(id) = found {
+                // Tombstone the per-source side.
+                self.dead.insert(id);
+                self.len -= 1;
+            }
+            found
+        };
+        #[cfg(debug_assertions)]
+        {
+            let pos = self
+                .shadow
+                .iter()
+                .position(|&(_, msrc, mtag)| msrc == src && tag_matches(tag, mtag));
+            let want = pos.map(|p| self.shadow.remove(p).0);
+            debug_assert_eq!(
+                hit, want,
+                "unexpected-queue index diverged from linear scan for ({src}, {tag})"
+            );
+        }
+        (hit, probes)
+    }
+
+    /// Live message ids in arrival order (deadlock diagnostics).
+    pub fn ids(&self) -> Vec<MsgId> {
+        let mut all: Vec<(u64, MsgId)> = self
+            .by_src
+            .values()
+            .flatten()
+            .filter(|(_, id, _)| !self.dead.contains(id))
+            .map(|(s, id, _)| (*s, *id))
+            .collect();
+        all.sort_unstable();
+        all.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::any_tag_in_block;
+
+    fn pr(src: Rank, tag: Tag, token: u64) -> PostedRecv {
+        PostedRecv {
+            src,
+            tag,
+            token: Token(token),
+            mem: MemSpace::Host { node: 0, socket: 0 },
+        }
+    }
+
+    #[test]
+    fn posted_fifo_per_src_tag() {
+        // Three receives on the same (src, tag): arrivals take them in
+        // posting order.
+        let mut q = PostedQueue::default();
+        for t in 0..3 {
+            q.push(pr(5, 7, t));
+        }
+        for t in 0..3 {
+            let (hit, _) = q.match_arrival(5, 7);
+            assert_eq!(hit.unwrap().token, Token(t));
+        }
+        assert_eq!(q.len(), 0);
+        assert!(q.match_arrival(5, 7).0.is_none());
+    }
+
+    #[test]
+    fn posted_source_is_exact() {
+        let mut q = PostedQueue::default();
+        q.push(pr(1, 7, 0));
+        assert!(q.match_arrival(2, 7).0.is_none());
+        assert_eq!(q.len(), 1);
+        assert!(q.match_arrival(1, 7).0.is_some());
+    }
+
+    #[test]
+    fn posted_wildcard_interleaves_with_specific_by_posting_order() {
+        // Posting order: specific tag 9, ANY_TAG, specific tag 9.
+        // First tag-9 arrival takes the first specific (earliest posted);
+        // second takes the ANY_TAG (posted before the second specific);
+        // third takes the remaining specific.
+        let mut q = PostedQueue::default();
+        q.push(pr(3, 9, 0));
+        q.push(pr(3, ANY_TAG, 1));
+        q.push(pr(3, 9, 2));
+        let order: Vec<Token> = (0..3)
+            .map(|_| q.match_arrival(3, 9).0.unwrap().token)
+            .collect();
+        assert_eq!(order, vec![Token(0), Token(1), Token(2)]);
+    }
+
+    #[test]
+    fn posted_wildcard_first_wins_over_later_specific() {
+        let mut q = PostedQueue::default();
+        q.push(pr(3, ANY_TAG, 0));
+        q.push(pr(3, 9, 1));
+        assert_eq!(q.match_arrival(3, 9).0.unwrap().token, Token(0));
+        assert_eq!(q.match_arrival(3, 9).0.unwrap().token, Token(1));
+    }
+
+    #[test]
+    fn posted_block_wildcard_scopes_to_its_block() {
+        use crate::program::TAG_BLOCK;
+        let mut q = PostedQueue::default();
+        q.push(pr(3, any_tag_in_block(1), 0));
+        // A tag outside block 1 does not match the wildcard.
+        assert!(q.match_arrival(3, 5).0.is_none());
+        // A tag inside block 1 does.
+        assert_eq!(q.match_arrival(3, TAG_BLOCK + 5).0.unwrap().token, Token(0));
+    }
+
+    #[test]
+    fn posted_mixed_wildcards_and_tags_random_churn() {
+        // Random pushes and arrivals; debug builds cross-check every pick
+        // against the linear-scan shadow.
+        let mut q = PostedQueue::default();
+        let mut seed = 42u64;
+        let mut live = 0usize;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for step in 0..4_000u64 {
+            let r = rng();
+            if r % 3 != 0 {
+                let src = (r % 4) as Rank;
+                let tag = match (r >> 8) % 4 {
+                    0 => ANY_TAG,
+                    1 => any_tag_in_block(((r >> 16) % 2) as u32),
+                    _ => ((r >> 16) % 6) as Tag,
+                };
+                q.push(pr(src, tag, step));
+                live += 1;
+            } else {
+                let src = ((r >> 4) % 4) as Rank;
+                let tag = ((r >> 16) % (2 * crate::program::TAG_BLOCK as u64)) as Tag;
+                if q.match_arrival(src, tag).0.is_some() {
+                    live -= 1;
+                }
+            }
+            assert_eq!(q.len(), live);
+        }
+    }
+
+    #[test]
+    fn unexp_fifo_per_src_tag_and_exact_pop() {
+        let mut q = UnexpQueue::default();
+        q.push(2, 7, 10);
+        q.push(2, 7, 11);
+        q.push(2, 8, 12);
+        assert_eq!(q.match_posted(2, 7).0, Some(10));
+        assert_eq!(q.match_posted(2, 7).0, Some(11));
+        assert_eq!(q.match_posted(2, 7).0, None);
+        assert_eq!(q.match_posted(2, 8).0, Some(12));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn unexp_wildcard_takes_arrival_order_across_tags() {
+        let mut q = UnexpQueue::default();
+        q.push(2, 8, 20);
+        q.push(2, 7, 21);
+        q.push(2, 9, 22);
+        assert_eq!(q.match_posted(2, ANY_TAG).0, Some(20));
+        assert_eq!(q.match_posted(2, ANY_TAG).0, Some(21));
+        assert_eq!(q.match_posted(2, ANY_TAG).0, Some(22));
+    }
+
+    #[test]
+    fn unexp_tombstones_reclaimed_across_indexes() {
+        // Match through the exact index, then make sure the wildcard walk
+        // skips (and reclaims) the ghost; then the reverse.
+        let mut q = UnexpQueue::default();
+        q.push(2, 7, 30);
+        q.push(2, 8, 31);
+        assert_eq!(q.match_posted(2, 7).0, Some(30)); // ghost of 30 in by_src
+        assert_eq!(q.match_posted(2, ANY_TAG).0, Some(31));
+        assert_eq!(q.len(), 0);
+        q.push(2, 7, 32);
+        q.push(2, 7, 33);
+        assert_eq!(q.match_posted(2, ANY_TAG).0, Some(32)); // ghost of 32 in by_src_tag
+        assert_eq!(q.match_posted(2, 7).0, Some(33));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn unexp_random_churn_matches_linear_scan() {
+        let mut q = UnexpQueue::default();
+        let mut seed = 7u64;
+        let mut next_id = 0u64;
+        let mut live = 0usize;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for _ in 0..4_000u64 {
+            let r = rng();
+            if r % 2 == 0 {
+                q.push((r % 3) as Rank, ((r >> 8) % 5) as Tag, next_id);
+                next_id += 1;
+                live += 1;
+            } else {
+                let src = ((r >> 4) % 3) as Rank;
+                let tag = match (r >> 8) % 3 {
+                    0 => ANY_TAG,
+                    1 => any_tag_in_block(0),
+                    _ => ((r >> 16) % 5) as Tag,
+                };
+                if q.match_posted(src, tag).0.is_some() {
+                    live -= 1;
+                }
+            }
+            assert_eq!(q.len(), live);
+        }
+    }
+}

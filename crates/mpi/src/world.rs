@@ -22,15 +22,16 @@
 //! after the CTS returns. The handshake is what couples a noisy receiver
 //! back to its sender in blocking implementations.
 
+use crate::matching::{PostedQueue, PostedRecv, UnexpQueue};
 use crate::payload::Payload;
 use crate::program::{Completion, Op, ProgramCtx, RankProgram, Tag, Token};
 use adapt_net::{Fabric, FlowId, FlowScheduler, FlowSpec, NetStep, Network, Path};
 use adapt_noise::ClusterNoise;
 use adapt_sim::audit::{AuditReport, RankAudit};
+use adapt_sim::fxhash::FxHashMap;
 use adapt_sim::queue::{EventKey, EventQueue};
 use adapt_sim::time::{Duration, Time};
 use adapt_topology::{MachineSpec, MemSpace, Placement, Rank};
-use std::collections::HashMap;
 
 /// Fixed CPU cost of handling any completion in the progress engine.
 const PROGRESS_OVERHEAD: Duration = Duration(50);
@@ -39,7 +40,7 @@ const PROGRESS_OVERHEAD: Duration = Duration(50);
 const CTRL_OVERHEAD: Duration = Duration(100);
 
 /// Message id in the in-flight table.
-type MsgId = u64;
+use crate::matching::MsgId;
 
 #[derive(Debug)]
 struct Msg {
@@ -89,14 +90,6 @@ enum Ev {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct PostedRecv {
-    src: Rank,
-    tag: Tag,
-    token: Token,
-    mem: MemSpace,
-}
-
 #[derive(Debug, Default)]
 struct RankState {
     busy_until: Time,
@@ -106,9 +99,9 @@ struct RankState {
     prog_busy_until: Time,
     /// Pure CPU work performed (noise stretching excluded).
     busy_accum: Duration,
-    posted: Vec<PostedRecv>,
-    unexp_eager: Vec<MsgId>,
-    unexp_rts: Vec<MsgId>,
+    posted: PostedQueue,
+    unexp_eager: UnexpQueue,
+    unexp_rts: UnexpQueue,
     finished_at: Option<Time>,
     gpu_stream_busy: Time,
     /// Posted/completed operation counters for the audit layer.
@@ -204,6 +197,15 @@ pub struct WorldStats {
     pub net_refreshes: u64,
     /// Network-engine diagnostics: drain-event reschedules.
     pub net_reschedules: u64,
+    /// Matching-engine diagnostics: queue entries examined while matching
+    /// arrivals against posted receives and posted receives against the
+    /// unexpected queues. The per-event matching cost of the progress
+    /// engine is `match_probes / events` — the complexity claim made by
+    /// the matching index is checkable from this number alone.
+    pub match_probes: u64,
+    /// Network-engine diagnostics: full path-minimum share recomputations
+    /// performed while refreshing flows after a perturbation.
+    pub net_share_recomputes: u64,
 }
 
 /// Outcome of a completed simulation.
@@ -286,9 +288,11 @@ pub struct World {
     noise: ClusterNoise,
     queue: EventQueue<Ev>,
     ranks: Vec<RankState>,
-    msgs: HashMap<MsgId, Msg>,
+    msgs: FxHashMap<MsgId, Msg>,
     next_msg: MsgId,
-    flow_kinds: HashMap<FlowId, FlowKind>,
+    /// Per-flow protocol kind, indexed by the network's slab id (flow ids
+    /// are small and reused, so a flat vector beats any hash table here).
+    flow_kinds: Vec<Option<FlowKind>>,
     programs: Vec<Option<Box<dyn RankProgram>>>,
     finished: u32,
     stats: WorldStats,
@@ -322,9 +326,9 @@ impl World {
             noise,
             queue: EventQueue::new(),
             ranks: (0..nranks).map(|_| RankState::default()).collect(),
-            msgs: HashMap::new(),
+            msgs: FxHashMap::default(),
             next_msg: 0,
-            flow_kinds: HashMap::new(),
+            flow_kinds: Vec::new(),
             programs: Vec::new(),
             finished: 0,
             stats: WorldStats::default(),
@@ -391,7 +395,7 @@ impl World {
         );
         self.programs = programs.into_iter().map(Some).collect();
         for r in 0..self.nranks() {
-            self.queue.schedule(
+            self.queue.schedule_untracked(
                 Time::ZERO,
                 Ev::Rank {
                     rank: r,
@@ -420,7 +424,11 @@ impl World {
                         },
                         &mut sched,
                     );
-                    self.flow_kinds.insert(flow, kind);
+                    let slot = flow.0 as usize;
+                    if slot >= self.flow_kinds.len() {
+                        self.flow_kinds.resize_with(slot + 1, || None);
+                    }
+                    self.flow_kinds[slot] = Some(kind);
                 }
             }
             if self.finished == self.nranks() {
@@ -453,8 +461,9 @@ impl World {
                 eprintln!(
                     "rank {r}: busy_until={:?} posted={:?} unexp_rts_tags={:?}",
                     st.busy_until,
-                    st.posted.iter().map(|p| (p.src, p.tag)).collect::<Vec<_>>(),
+                    st.posted.entries(),
                     st.unexp_rts
+                        .ids()
                         .iter()
                         .map(|m| (self.msgs[m].src, self.msgs[m].tag))
                         .collect::<Vec<_>>(),
@@ -475,7 +484,7 @@ impl World {
                 self.ranks.iter().map(|r| r.unexp_rts.len()).sum::<usize>(),
                 self.msgs.len(),
                 self.net.active_flows(),
-                self.flow_kinds.len(),
+                self.flow_kinds.iter().flatten().count(),
                 sample.join("\n  "),
             );
         }
@@ -493,9 +502,10 @@ impl World {
             .unwrap_or(Time::ZERO)
             .saturating_since(Time::ZERO);
         self.stats.delivered_bytes = self.net.delivered_bytes();
-        let (refreshes, reschedules) = self.net.perf_counters();
-        self.stats.net_refreshes = refreshes;
-        self.stats.net_reschedules = reschedules;
+        let net_perf = self.net.perf_counters();
+        self.stats.net_refreshes = net_perf.refreshes;
+        self.stats.net_reschedules = net_perf.reschedules;
+        self.stats.net_share_recomputes = net_perf.share_recomputes;
         let audit = self.build_audit();
         let mut trace = self.trace.take().unwrap_or_default();
         // Ops are recorded at their (possibly future) execution instants in
@@ -549,11 +559,11 @@ impl World {
         match step {
             NetStep::Progress => {}
             NetStep::Drained { flow, .. } => {
-                match *self.flow_kinds.get(&flow).expect("drain of unknown flow") {
+                match self.flow_kinds[flow.0 as usize].expect("drain of unknown flow") {
                     FlowKind::EagerData(m) | FlowKind::RndvData(m) => {
                         let msg = &self.msgs[&m];
                         let (src, token) = (msg.src, msg.send_token);
-                        self.queue.schedule(
+                        self.queue.schedule_untracked(
                             t,
                             Ev::Rank {
                                 rank: src,
@@ -568,9 +578,8 @@ impl World {
                 }
             }
             NetStep::Delivered(d) => {
-                let kind = self
-                    .flow_kinds
-                    .remove(&d.flow)
+                let kind = self.flow_kinds[d.flow.0 as usize]
+                    .take()
                     .expect("delivery of unknown flow");
                 let (rank, item) = match kind {
                     FlowKind::Rts(m) => (self.msgs[&m].dst, RankItem::RtsArrived(m)),
@@ -582,7 +591,7 @@ impl World {
                         (rank, RankItem::Deliver(Completion::CopyDone { token }))
                     }
                 };
-                self.queue.schedule(t, Ev::Rank { rank, item });
+                self.queue.schedule_untracked(t, Ev::Rank { rank, item });
             }
         }
     }
@@ -607,15 +616,12 @@ impl World {
                     (msg.src, msg.tag)
                 };
                 let state = &mut self.ranks[rank as usize];
-                if let Some(pos) = state
-                    .posted
-                    .iter()
-                    .position(|p| p.src == src && crate::program::tag_matches(p.tag, tag))
-                {
-                    let posted = state.posted.remove(pos);
+                let (hit, probes) = state.posted.match_arrival(src, tag);
+                self.stats.match_probes += probes;
+                if let Some(posted) = hit {
                     self.complete_recv(t, rank, m, posted.token);
                 } else {
-                    state.unexp_eager.push(m);
+                    state.unexp_eager.push(src, tag, m);
                     let e = self.cpu_ready(rank, t);
                     self.bump_busy(rank, e, CTRL_OVERHEAD);
                 }
@@ -627,16 +633,13 @@ impl World {
                     (msg.src, msg.tag)
                 };
                 let state = &mut self.ranks[rank as usize];
-                if let Some(pos) = state
-                    .posted
-                    .iter()
-                    .position(|p| p.src == src && crate::program::tag_matches(p.tag, tag))
-                {
-                    let posted = state.posted.remove(pos);
+                let (hit, probes) = state.posted.match_arrival(src, tag);
+                self.stats.match_probes += probes;
+                if let Some(posted) = hit {
                     let e = self.cpu_ready(rank, t);
                     self.accept_rndv(e, rank, m, posted);
                 } else {
-                    state.unexp_rts.push(m);
+                    state.unexp_rts.push(src, tag, m);
                     let e = self.cpu_ready(rank, t);
                     self.bump_busy(rank, e, CTRL_OVERHEAD);
                 }
@@ -652,7 +655,8 @@ impl World {
 
         let ready = self.cpu_ready(rank, t);
         if ready > t {
-            self.queue.schedule(ready, Ev::Rank { rank, item });
+            self.queue
+                .schedule_untracked(ready, Ev::Rank { rank, item });
             return;
         }
 
@@ -676,7 +680,7 @@ impl World {
                     )
                 };
                 let at = self.bump_busy(rank, t, CTRL_OVERHEAD);
-                self.queue.schedule(
+                self.queue.schedule_untracked(
                     at,
                     Ev::Launch {
                         kind: FlowKind::RndvData(m),
@@ -725,7 +729,7 @@ impl World {
             )
         };
         let at = self.bump_busy(rank, t, CTRL_OVERHEAD);
-        self.queue.schedule(
+        self.queue.schedule_untracked(
             at,
             Ev::Launch {
                 kind: FlowKind::Cts(m),
@@ -738,7 +742,7 @@ impl World {
     /// Deliver a RecvDone completion for message `m` to `rank`.
     fn complete_recv(&mut self, t: Time, rank: Rank, m: MsgId, token: Token) {
         let msg = self.msgs.remove(&m).expect("msg");
-        self.queue.schedule(
+        self.queue.schedule_untracked(
             t,
             Ev::Rank {
                 rank,
@@ -872,7 +876,7 @@ impl World {
                         let state = &mut self.ranks[rank as usize];
                         state.busy_until = done;
                         state.busy_accum += work;
-                        self.queue.schedule(
+                        self.queue.schedule_untracked(
                             done,
                             Ev::Rank {
                                 rank,
@@ -882,7 +886,7 @@ impl World {
                     } else {
                         cost += work;
                         let at = self.noise.finish_work(rank, t, cost);
-                        self.queue.schedule(
+                        self.queue.schedule_untracked(
                             at,
                             Ev::Rank {
                                 rank,
@@ -903,7 +907,7 @@ impl World {
                     let done = start
                         + Duration::from_secs_f64(bytes as f64 / self.spec.gpu_reduce_bandwidth);
                     state.gpu_stream_busy = done;
-                    self.queue.schedule(
+                    self.queue.schedule_untracked(
                         done,
                         Ev::Rank {
                             rank,
@@ -921,7 +925,7 @@ impl World {
                     let at = self.noise.finish_work(rank, t, cost);
                     let path = self.fabric.route(from, to);
                     self.byte_audit.copy_posted += bytes;
-                    self.queue.schedule(
+                    self.queue.schedule_untracked(
                         at,
                         Ev::Launch {
                             kind: FlowKind::Copy { rank, token, bytes },
@@ -998,7 +1002,7 @@ impl World {
                 Some(self.core_of(src)),
                 Some(self.core_of(dst)),
             );
-            self.queue.schedule(
+            self.queue.schedule_untracked(
                 at,
                 Ev::Launch {
                     kind: FlowKind::EagerData(m),
@@ -1008,7 +1012,7 @@ impl World {
             );
             if bytes == 0 {
                 // Zero-byte sends complete locally right away.
-                self.queue.schedule(
+                self.queue.schedule_untracked(
                     at,
                     Ev::Rank {
                         rank: src,
@@ -1021,7 +1025,7 @@ impl World {
             let path = self
                 .fabric
                 .route(self.placement.host_mem(src), self.placement.host_mem(dst));
-            self.queue.schedule(
+            self.queue.schedule_untracked(
                 at,
                 Ev::Launch {
                     kind: FlowKind::Rts(m),
@@ -1045,11 +1049,9 @@ impl World {
     ) -> Duration {
         let mem = dst_mem.unwrap_or_else(|| self.placement.default_mem(rank));
         // Unexpected eager data first (MPI matching order).
-        if let Some(pos) = self.ranks[rank as usize].unexp_eager.iter().position(|&m| {
-            let msg = &self.msgs[&m];
-            msg.src == src && crate::program::tag_matches(tag, msg.tag)
-        }) {
-            let m = self.ranks[rank as usize].unexp_eager.remove(pos);
+        let (hit, probes) = self.ranks[rank as usize].unexp_eager.match_posted(src, tag);
+        self.stats.match_probes += probes;
+        if let Some(m) = hit {
             self.stats.unexpected_matches += 1;
             let bytes = self.msgs[&m].payload.len();
             let copy_cost = self.spec.unexpected_overhead
@@ -1061,11 +1063,9 @@ impl World {
             return copy_cost;
         }
         // Pending rendezvous next.
-        if let Some(pos) = self.ranks[rank as usize].unexp_rts.iter().position(|&m| {
-            let msg = &self.msgs[&m];
-            msg.src == src && crate::program::tag_matches(tag, msg.tag)
-        }) {
-            let m = self.ranks[rank as usize].unexp_rts.remove(pos);
+        let (hit, probes) = self.ranks[rank as usize].unexp_rts.match_posted(src, tag);
+        self.stats.match_probes += probes;
+        if let Some(m) = hit {
             let posted = PostedRecv {
                 src,
                 tag,

@@ -472,3 +472,69 @@ fn analysis_over_a_traced_run() {
         "exactly one last rank"
     );
 }
+
+/// Rank 0: a rendezvous-sized send (tag 7) then an eager send (tag 5).
+struct RndvThenEager {
+    done: u32,
+}
+impl RankProgram for RndvThenEager {
+    fn on_start(&mut self, ctx: &mut dyn ProgramCtx) {
+        ctx.isend(1, 7, Payload::Synthetic(1_000_000), Token(1));
+        ctx.isend(1, 5, Payload::Synthetic(1_024), Token(2));
+    }
+    fn on_completion(&mut self, ctx: &mut dyn ProgramCtx, c: Completion) {
+        assert!(matches!(c, Completion::SendDone { .. }));
+        self.done += 1;
+        if self.done == 2 {
+            ctx.finish();
+        }
+    }
+}
+
+/// Rank 1: stays busy long enough for both arrivals to be unexpected,
+/// then drains them with wildcard receives, recording tag order.
+struct LateWildcardReceiver {
+    tags: Vec<u32>,
+}
+impl RankProgram for LateWildcardReceiver {
+    fn on_start(&mut self, ctx: &mut dyn ProgramCtx) {
+        ctx.compute(Duration::from_millis(1), Token(9));
+    }
+    fn on_completion(&mut self, ctx: &mut dyn ProgramCtx, c: Completion) {
+        match c {
+            Completion::ComputeDone { .. } => {
+                ctx.irecv(0, adapt_mpi::program::ANY_TAG, Token(10));
+            }
+            Completion::RecvDone { tag, .. } => {
+                self.tags.push(tag);
+                if self.tags.len() == 1 {
+                    ctx.irecv(0, adapt_mpi::program::ANY_TAG, Token(11));
+                } else {
+                    ctx.finish();
+                }
+            }
+            other => panic!("unexpected completion {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unexpected_eager_matches_before_unexpected_rts() {
+    // The RTS (rendezvous, tag 7) reaches the busy receiver before the
+    // eager data (tag 5) is even sent, but MPI matching order consults the
+    // unexpected-eager queue first: the first wildcard receive must take
+    // tag 5, the second tag 7.
+    let world = two_rank_world(ClusterNoise::silent(2));
+    let res = world.run(vec![
+        Box::new(RndvThenEager { done: 0 }),
+        Box::new(LateWildcardReceiver { tags: Vec::new() }),
+    ]);
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    assert_eq!(res.stats.rendezvous, 1);
+    assert_eq!(res.stats.unexpected_matches, 1);
+    let recv = res.programs.into_iter().nth(1).unwrap();
+    let recv = (recv as Box<dyn std::any::Any>)
+        .downcast::<LateWildcardReceiver>()
+        .unwrap();
+    assert_eq!(recv.tags, vec![5, 7], "eager must match before RTS");
+}

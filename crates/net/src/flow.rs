@@ -29,7 +29,7 @@
 //! talks to it through [`FlowScheduler`], so flows, rank events, and noise
 //! share one deterministic timeline.
 
-use crate::links::{Link, Path};
+use crate::links::{Link, Path, MAX_PATH};
 use adapt_sim::queue::EventKey;
 use adapt_sim::time::{Duration, Time};
 
@@ -113,6 +113,10 @@ struct Flow {
     /// Scheduled time of `event` (to judge whether a rate change moved the
     /// estimate enough to warrant a reschedule).
     event_time: Time,
+    /// For each path position, this flow's index inside that link's
+    /// `link_flows` list — a slot map that turns the leave-link update into
+    /// an O(1) `swap_remove` instead of a linear `position()` scan.
+    slots: [u32; MAX_PATH],
 }
 
 /// The flow-level network engine. Flows live in a slab (vector plus free
@@ -126,15 +130,37 @@ pub struct Network {
     active: usize,
     /// Flows currently draining through each link (unordered slab indices).
     link_flows: Vec<Vec<u32>>,
+    /// Cached equal-share rate of each link: `capacity / active.max(1)`,
+    /// maintained on every occupancy change. Queries fold cached values
+    /// instead of re-dividing, and the cache is what makes the refresh
+    /// prefilter possible: a neighbour whose current rate is unaffected by
+    /// the one share that moved is skipped without touching its state.
+    link_share: Vec<f64>,
     /// Cumulative bytes injected by `start_flow` (audit).
     injected_bytes: u64,
     /// Cumulative bytes delivered (diagnostics and audit).
     delivered_bytes: u64,
-    /// Scratch buffer: flows affected by the current perturbation.
-    affected: Vec<u32>,
+    /// Scratch buffer: flows affected by the current perturbation, each
+    /// paired with the perturbed link's comparison share (post-join share
+    /// when a flow entered, pre-leave share when one left).
+    affected: Vec<(u32, f64)>,
     /// Diagnostics: refresh scans and actual reschedules performed.
     refreshes: u64,
     reschedules: u64,
+    /// Diagnostics: full path-minimum share recomputations.
+    share_recomputes: u64,
+}
+
+/// Network-engine perf counters (diagnostics, surfaced through the MPI
+/// runtime's `WorldStats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetPerf {
+    /// Neighbour flows visited while refreshing after a perturbation.
+    pub refreshes: u64,
+    /// Drain events actually rescheduled (estimate moved materially).
+    pub reschedules: u64,
+    /// Full path-minimum share recomputations performed.
+    pub share_recomputes: u64,
 }
 
 /// Rate below which a flow is considered stalled; avoids division blow-ups
@@ -153,17 +179,23 @@ impl Network {
     /// Create an engine over a fixed set of links.
     pub fn new(links: Vec<Link>) -> Network {
         let n = links.len();
+        // An idle link's share is `capacity / 1` (the `.max(1)` clamp), and
+        // dividing by one is exact, so seeding with the raw capacity is
+        // bit-identical to the formula.
+        let link_share = links.iter().map(|l| l.capacity).collect();
         Network {
             links,
             slab: Vec::new(),
             free: Vec::new(),
             active: 0,
             link_flows: vec![Vec::new(); n],
+            link_share,
             injected_bytes: 0,
             delivered_bytes: 0,
             affected: Vec::new(),
             refreshes: 0,
             reschedules: 0,
+            share_recomputes: 0,
         }
     }
 
@@ -203,9 +235,13 @@ impl Network {
         self.injected_bytes
     }
 
-    /// Diagnostics: `(neighbour refresh scans, drain reschedules)` so far.
-    pub fn perf_counters(&self) -> (u64, u64) {
-        (self.refreshes, self.reschedules)
+    /// Diagnostics: perf counters accumulated so far.
+    pub fn perf_counters(&self) -> NetPerf {
+        NetPerf {
+            refreshes: self.refreshes,
+            reschedules: self.reschedules,
+            share_recomputes: self.share_recomputes,
+        }
     }
 
     /// Sum of path latencies for `path`.
@@ -217,13 +253,21 @@ impl Network {
         d
     }
 
-    /// The equal-share rate a flow with `path` gets right now.
+    /// Recompute a link's cached share after its occupancy changed. The
+    /// expression matches the one historical queries used
+    /// (`capacity / count.max(1)`), so cached values are bit-identical to
+    /// what an on-the-fly recomputation would produce.
+    fn set_share(&mut self, l: usize) {
+        let count = self.link_flows[l].len().max(1) as f64;
+        self.link_share[l] = self.links[l].capacity / count;
+    }
+
+    /// The equal-share rate a flow with `path` gets right now: the minimum
+    /// cached link share along the path, clamped at [`MIN_RATE`].
     fn share_rate(&self, path: &Path) -> f64 {
         let mut rate = f64::INFINITY;
         for l in path {
-            let link = &self.links[l.0 as usize];
-            let count = self.link_flows[l.0 as usize].len().max(1) as f64;
-            rate = rate.min(link.capacity / count);
+            rate = rate.min(self.link_share[l.0 as usize]);
         }
         rate.max(MIN_RATE)
     }
@@ -247,6 +291,7 @@ impl Network {
                 phase: Phase::Tail,
                 event: EventKey::default(),
                 event_time: now + latency,
+                slots: [0; MAX_PATH],
             });
             let event = sched.schedule(now + latency, FlowId(id as u64));
             self.slab[id as usize]
@@ -256,8 +301,6 @@ impl Network {
             return FlowId(id as u64);
         }
 
-        // Collect the neighbours whose share changes, then join the links.
-        self.collect_affected(&spec.path);
         let id = self.alloc(Flow {
             spec,
             phase: Phase::Draining {
@@ -267,10 +310,34 @@ impl Network {
             },
             event: EventKey::default(),
             event_time: Time::MAX,
+            slots: [0; MAX_PATH],
         });
-        for l in &spec.path {
-            self.link_flows[l.0 as usize].push(id);
+        // Join the links, recording this flow's slot in each list and
+        // refreshing the cached shares as occupancy grows.
+        for (i, l) in spec.path.as_slice().iter().enumerate() {
+            let v = &mut self.link_flows[l.0 as usize];
+            v.push(id);
+            let slot = (v.len() - 1) as u32;
+            self.slab[id as usize]
+                .as_mut()
+                .expect("just allocated")
+                .slots[i] = slot;
+            self.set_share(l.0 as usize);
         }
+        // Collect the neighbours whose share may have changed, paired with
+        // the post-join share of the link they were found on. The new flow
+        // sits at the tail of every list it joined; skipping it reproduces
+        // the pre-join neighbour set exactly.
+        self.affected.clear();
+        for l in &spec.path {
+            let share = self.link_share[l.0 as usize];
+            for &fid in &self.link_flows[l.0 as usize] {
+                if fid != id {
+                    self.affected.push((fid, share));
+                }
+            }
+        }
+        self.share_recomputes += 1;
         let rate = self.share_rate(&spec.path);
         let drain_in = Duration::from_secs_f64_ceil(spec.bytes as f64 / rate);
         let event = sched.schedule(now + drain_in, FlowId(id as u64));
@@ -282,7 +349,7 @@ impl Network {
                 *r = rate;
             }
         }
-        self.refresh_affected(now, sched);
+        self.refresh_affected(now, sched, false);
         FlowId(id as u64)
     }
 
@@ -331,14 +398,43 @@ impl Network {
                 f.phase = Phase::Tail;
                 (f.spec.path, f.spec.tag, f.spec.bytes)
             };
-            // Stop consuming capacity; neighbours speed up.
-            for l in &path {
-                let v = &mut self.link_flows[l.0 as usize];
-                if let Some(pos) = v.iter().position(|x| *x == flow.0 as u32) {
-                    v.swap_remove(pos);
+            // Remember each link's share while this flow still occupies it —
+            // the refresh prefilter needs the pre-leave value to tell which
+            // neighbours were actually bottlenecked here.
+            let mut old_shares = [0.0f64; MAX_PATH];
+            for (i, l) in path.as_slice().iter().enumerate() {
+                old_shares[i] = self.link_share[l.0 as usize];
+            }
+            // Stop consuming capacity; neighbours speed up. The slot map
+            // makes each leave O(1): swap_remove this flow's recorded slot,
+            // then repoint the slot of whichever flow got moved into it.
+            for i in 0..path.len() {
+                let l = path.as_slice()[i].0 as usize;
+                let pos = self.slab[idx].as_ref().expect("flow vanished").slots[i] as usize;
+                let v = &mut self.link_flows[l];
+                debug_assert_eq!(v[pos], flow.0 as u32, "slot map out of sync");
+                let last = v.len() - 1;
+                v.swap_remove(pos);
+                if pos != last {
+                    let moved = v[pos];
+                    let mf = self.slab[moved as usize]
+                        .as_mut()
+                        .expect("moved flow vanished");
+                    for (j, ml) in mf.spec.path.as_slice().iter().enumerate() {
+                        if ml.0 as usize == l && mf.slots[j] as usize == last {
+                            mf.slots[j] = pos as u32;
+                            break;
+                        }
+                    }
+                }
+                self.set_share(l);
+            }
+            self.affected.clear();
+            for (i, l) in path.as_slice().iter().enumerate() {
+                for &fid in &self.link_flows[l.0 as usize] {
+                    self.affected.push((fid, old_shares[i]));
                 }
             }
-            self.collect_affected(&path);
             let latency = self.path_latency(&path);
             let event = sched.schedule(now + latency, flow);
             {
@@ -346,7 +442,7 @@ impl Network {
                 f.event = event;
                 f.event_time = now + latency;
             }
-            self.refresh_affected(now, sched);
+            self.refresh_affected(now, sched, true);
             NetStep::Drained { flow, tag, bytes }
         } else {
             let f = self.slab[idx].take().expect("flow vanished");
@@ -361,31 +457,44 @@ impl Network {
         }
     }
 
-    /// Gather (into the scratch buffer) every draining flow that shares a
-    /// link with `path`. Duplicates (flows sharing several of the links)
-    /// are kept — the refresh is idempotent — and the link-then-insertion
-    /// order is deterministic, so no sort is needed.
-    fn collect_affected(&mut self, path: &Path) {
-        self.affected.clear();
-        for l in path {
-            self.affected
-                .extend_from_slice(&self.link_flows[l.0 as usize]);
-        }
-    }
-
     /// Re-derive the rate of every affected flow, reconciling its remaining
     /// bytes at the old rate and rescheduling its drain event if the rate
     /// moved.
-    fn refresh_affected(&mut self, now: Time, sched: &mut impl FlowScheduler) {
+    ///
+    /// `rose` says which way the perturbed link's share moved (a flow left:
+    /// shares rise; a flow joined: shares fall). Each affected entry
+    /// carries that link's comparison share, which lets most neighbours be
+    /// dismissed in O(1) without recomputing their path minimum:
+    ///
+    /// * shares **fell** to `s`: a neighbour running at `rate <= s` keeps
+    ///   its bottleneck (its path minimum is at most `s`), so its rate is
+    ///   literally unchanged;
+    /// * shares **rose** from `s`: a neighbour running at `rate < s` was
+    ///   bottlenecked on some *other* link, so raising this one cannot
+    ///   move its minimum.
+    ///
+    /// Both dismissals coincide exactly with cases where the full
+    /// recomputation would return a bit-identical rate and the epsilon
+    /// check below would skip anyway — the prefilter changes which work is
+    /// done, never the outcome.
+    fn refresh_affected(&mut self, now: Time, sched: &mut impl FlowScheduler, rose: bool) {
         let affected = std::mem::take(&mut self.affected);
         self.refreshes += affected.len() as u64;
         let mut reschedules = 0u64;
-        for &id in &affected {
-            let path = self.slab[id as usize]
+        for &(id, cmp) in &affected {
+            let f = self.slab[id as usize]
                 .as_ref()
-                .expect("affected flow vanished")
-                .spec
-                .path;
+                .expect("affected flow vanished");
+            let current = match f.phase {
+                Phase::Draining { rate, .. } => rate,
+                Phase::Tail => continue,
+            };
+            let unaffected = if rose { current < cmp } else { current <= cmp };
+            if unaffected {
+                continue;
+            }
+            let path = f.spec.path;
+            self.share_recomputes += 1;
             let new_rate = self.share_rate(&path);
             let f = self.slab[id as usize]
                 .as_mut()
@@ -425,6 +534,42 @@ impl Network {
         }
         self.reschedules += reschedules;
         self.affected = affected;
+    }
+
+    /// Test-only invariant: every cached link share equals the formula
+    /// recomputed from scratch, bit for bit.
+    #[cfg(test)]
+    fn check_share_cache(&self) {
+        for (i, link) in self.links.iter().enumerate() {
+            let count = self.link_flows[i].len().max(1) as f64;
+            assert_eq!(
+                self.link_share[i].to_bits(),
+                (link.capacity / count).to_bits(),
+                "stale share cache on link {i}"
+            );
+        }
+    }
+
+    /// Test-only invariant: the slot map and the per-link flow lists agree
+    /// in both directions.
+    #[cfg(test)]
+    fn check_slots(&self) {
+        for (l, v) in self.link_flows.iter().enumerate() {
+            for (pos, &id) in v.iter().enumerate() {
+                let f = self.slab[id as usize]
+                    .as_ref()
+                    .expect("listed flow vanished");
+                assert!(
+                    f.spec
+                        .path
+                        .as_slice()
+                        .iter()
+                        .enumerate()
+                        .any(|(j, pl)| pl.0 as usize == l && f.slots[j] as usize == pos),
+                    "flow {id} at link {l} pos {pos} has no matching slot"
+                );
+            }
+        }
     }
 }
 
@@ -704,6 +849,66 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn share_cache_and_slot_map_survive_churn() {
+        // Overlapping paths over a small fabric, staggered starts, drains
+        // interleaved with joins: after every event the cached shares must
+        // equal the from-scratch formula and the slot map must be
+        // consistent both ways.
+        let mk = |cap| Link {
+            class: crate::links::LinkClass::Backbone,
+            capacity: cap,
+            latency: Duration::from_nanos(100),
+        };
+        let mut net = Network::new(vec![mk(1e9), mk(2e9), mk(4e9), mk(8e9)]);
+        let mut q = Q(EventQueue::new());
+        let paths = [
+            Path::new(&[LinkId(0)]),
+            Path::new(&[LinkId(0), LinkId(1)]),
+            Path::new(&[LinkId(1), LinkId(2)]),
+            Path::new(&[LinkId(2), LinkId(3)]),
+            Path::new(&[LinkId(0), LinkId(2), LinkId(3)]),
+        ];
+        let mut tag = 0u64;
+        let mut seed = 1u64;
+        for wave in 0..40u64 {
+            let wave_start = Time(wave * 20_000);
+            // Process everything due before this wave so joins and leaves
+            // overlap without time running backwards.
+            while q.0.peek_time().is_some_and(|t| t <= wave_start) {
+                let (t, fid) = q.0.pop().unwrap();
+                net.handle_event(t, fid, &mut q);
+                net.check_share_cache();
+                net.check_slots();
+            }
+            for (i, p) in paths.iter().enumerate() {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let bytes = 10_000 + (seed >> 48);
+                net.start_flow(
+                    wave_start + Duration::from_nanos(i as u64),
+                    FlowSpec {
+                        path: *p,
+                        bytes,
+                        tag,
+                    },
+                    &mut q,
+                );
+                tag += 1;
+                net.check_share_cache();
+                net.check_slots();
+            }
+        }
+        while let Some((t, fid)) = q.0.pop() {
+            net.handle_event(t, fid, &mut q);
+            net.check_share_cache();
+            net.check_slots();
+        }
+        assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.injected_bytes(), net.delivered_bytes());
     }
 
     #[test]

@@ -18,5 +18,5 @@ pub mod flow;
 pub mod links;
 
 pub use fabric::Fabric;
-pub use flow::{Delivery, FlowId, FlowScheduler, FlowSpec, NetStep, Network};
+pub use flow::{Delivery, FlowId, FlowScheduler, FlowSpec, NetPerf, NetStep, Network};
 pub use links::{Link, LinkClass, LinkId, Path, MAX_PATH};

@@ -1,0 +1,113 @@
+//! A fast, non-cryptographic hasher for the simulator's integer-keyed
+//! tables (in-flight messages, pending events, matching indexes).
+//!
+//! The event loop performs several hash-table operations per simulated
+//! event, all keyed by small integers (`u64` ids, `(u32, u32)` pairs). The
+//! standard library's default SipHash is DoS-resistant but costs tens of
+//! nanoseconds per key — measurable against a ~100 ns per-event budget.
+//! This is the classic Fx multiply-rotate hash (as used by rustc): one
+//! rotate, one xor, one multiply per word. Keys are simulator-internal
+//! ids, never attacker-controlled, so collision-flooding resistance buys
+//! nothing here.
+//!
+//! Determinism note: the simulator never iterates these tables on a hot
+//! path (only in cold diagnostics, which sort first), so the hash function
+//! cannot influence event order or golden traces.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from FxHash (a.k.a. the Firefox hash).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-word-at-a-time multiply-rotate hasher.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_behave() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 3) as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&((i * 3) as u32)));
+        }
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((7, 9)));
+        assert!(!s.insert((7, 9)));
+        assert!(s.contains(&(7, 9)));
+    }
+
+    #[test]
+    fn hash_is_stable_per_key() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let h = |k: u64| b.hash_one(k);
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+}

@@ -11,6 +11,7 @@
 //! produces identical virtual-time results on every run.
 
 pub mod audit;
+pub mod fxhash;
 pub mod queue;
 pub mod rng;
 pub mod stats;

@@ -13,15 +13,40 @@
 //! fired (or was already cancelled) is a detectable no-op rather than a
 //! corruption of the live count, and the bookkeeping never outgrows the
 //! heap contents.
+//!
+//! Most simulator events are never cancelled — rank steps, callback
+//! completions, flow launches all fire exactly once. Routing them through
+//! the cancellation bookkeeping costs two hash-table operations per event
+//! (insert on schedule, remove on pop), which profiling shows is the
+//! single largest line item in the event loop. [`EventQueue::schedule_untracked`]
+//! is the fast path for those: the entry carries a `tracked: false` flag,
+//! skips the `pending` set entirely, and is counted live by a plain
+//! integer. Pop order is identical either way — both paths draw sequence
+//! numbers from the same counter, so `(time, seq)` ordering (and hence
+//! every golden trace) is unaffected by which path scheduled an event.
+//!
+//! Lazy deletion alone lets cancelled debris pile up: a noise-heavy run
+//! whose drain events are rescheduled far more often than they fire can
+//! carry a heap many times its live size. Whenever the debris exceeds the
+//! live entries (and the heap is big enough to care), the queue rebuilds
+//! itself keeping only live entries — an O(heap) pass paid at most once
+//! per heap-doubling of cancellations, so the amortized cost per cancel is
+//! O(1) and heap occupancy stays within a constant factor of the live
+//! count.
 
+use crate::fxhash::FxHashSet;
 use crate::time::Time;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Sequence number reserved for [`EventKey::default`]. `schedule` hands out
 /// sequence numbers counting up from zero, so this value is never assigned
 /// to a real event.
 const SENTINEL_SEQ: u64 = u64::MAX;
+
+/// Heaps smaller than this are never compacted — the rebuild would cost
+/// more than the debris it reclaims.
+const COMPACT_MIN_HEAP: usize = 64;
 
 /// Handle to a scheduled event, usable for cancellation. The default key
 /// is a reserved sentinel (`u64::MAX`) that never matches a live event:
@@ -40,12 +65,26 @@ impl Default for EventKey {
 struct Entry<E> {
     time: Time,
     seq: u64,
+    /// Whether this entry participates in cancellation bookkeeping. An
+    /// untracked entry is always live; a tracked one is live iff its seq
+    /// is in the `pending` set.
+    tracked: bool,
     payload: E,
+}
+
+impl<E> Entry<E> {
+    /// Heap ordering key. `(time, seq)` is a *strict* total order (seqs
+    /// are unique), so every correct min-heap pops the same sequence —
+    /// the heap's internal shape can never influence a simulation.
+    #[inline]
+    fn key(&self) -> (Time, u64) {
+        (self.time, self.seq)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -59,7 +98,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -67,11 +106,11 @@ impl<E> Ord for Entry<E> {
 /// simulator-wide audit layer ([`crate::audit::AuditReport`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueueAudit {
-    /// Live events as reported by [`EventQueue::len`] (the `pending` set
-    /// size).
+    /// Live events as reported by [`EventQueue::len`] (the live counter).
     pub reported_live: usize,
     /// Live events actually present in the heap (full scan counting
-    /// entries whose sequence is in the pending set).
+    /// untracked entries plus tracked entries whose sequence is in the
+    /// pending set).
     pub actual_live: usize,
     /// Total heap entries, including cancelled debris awaiting lazy
     /// removal.
@@ -92,15 +131,22 @@ impl QueueAudit {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    /// Sequence numbers that are scheduled and neither popped nor
-    /// cancelled. An entry in the heap is live iff its seq is here, so
-    /// `pending.len()` is the live count and cancellation bookkeeping is
-    /// bounded by heap occupancy.
-    pending: HashSet<u64>,
+    /// Sequence numbers of *tracked* entries that are scheduled and
+    /// neither popped nor cancelled. A tracked entry in the heap is live
+    /// iff its seq is here, so cancelling an event that already fired (or
+    /// was already cancelled) is a detectable no-op, and the bookkeeping
+    /// never outgrows the heap contents. Untracked entries bypass this set.
+    pending: FxHashSet<u64>,
+    /// Live entries (tracked + untracked). Kept as a counter so the hot
+    /// untracked path touches no hash table; the audit layer cross-checks
+    /// it against the heap.
+    live: usize,
     /// Last time popped; used to detect causality violations.
     last_popped: Time,
     /// Schedule calls that targeted the past and were clamped forward.
     causality_violations: u64,
+    /// Debris-compaction rebuilds performed (diagnostics).
+    compactions: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -115,10 +161,29 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            pending: HashSet::new(),
+            pending: FxHashSet::default(),
+            live: 0,
             last_popped: Time::ZERO,
             causality_violations: 0,
+            compactions: 0,
         }
+    }
+
+    /// Rebuild the heap keeping only live entries once cancelled debris
+    /// outnumbers them. Pop order is unaffected — `(time, seq)` is a total
+    /// order — so compaction is invisible to the simulation.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() < COMPACT_MIN_HEAP || self.heap.len() <= 2 * self.live {
+            return;
+        }
+        self.compactions += 1;
+        let pending = &self.pending;
+        let live: Vec<Entry<E>> = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .filter(|e| !e.tracked || pending.contains(&e.seq))
+            .collect();
+        self.heap = BinaryHeap::from(live);
     }
 
     /// Schedule `payload` at absolute time `time`.
@@ -128,6 +193,20 @@ impl<E> EventQueue<E> {
     /// and counted in [`EventQueue::causality_violations`] so the audit
     /// layer can report it instead of the bug silently disappearing.
     pub fn schedule(&mut self, time: Time, payload: E) -> EventKey {
+        let seq = self.push_entry(time, payload, true);
+        self.pending.insert(seq);
+        EventKey { seq }
+    }
+
+    /// Schedule `payload` at absolute time `time` without a cancellation
+    /// handle. The hot path for fire-exactly-once events: no hash-table
+    /// bookkeeping on schedule or pop. Ordering is identical to
+    /// [`EventQueue::schedule`] — both draw from the same sequence counter.
+    pub fn schedule_untracked(&mut self, time: Time, payload: E) {
+        self.push_entry(time, payload, false);
+    }
+
+    fn push_entry(&mut self, time: Time, payload: E, tracked: bool) -> u64 {
         if time < self.last_popped {
             self.causality_violations += 1;
         }
@@ -135,9 +214,14 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         assert!(seq != SENTINEL_SEQ, "event sequence space exhausted");
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
-        self.pending.insert(seq);
-        EventKey { seq }
+        self.heap.push(Entry {
+            time,
+            seq,
+            tracked,
+            payload,
+        });
+        self.live += 1;
+        seq
     }
 
     /// Cancel a previously scheduled event. Returns true if the event was
@@ -145,15 +229,22 @@ impl<E> EventQueue<E> {
     /// Cancelling a popped event, a cancelled event, or the default
     /// sentinel key is a no-op returning false and leaves `len()` intact.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        self.pending.remove(&key.seq)
+        let was_pending = self.pending.remove(&key.seq);
+        if was_pending {
+            self.live -= 1;
+            self.maybe_compact();
+        }
+        was_pending
     }
 
     /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.maybe_compact();
         while let Some(entry) = self.heap.pop() {
-            if !self.pending.remove(&entry.seq) {
+            if entry.tracked && !self.pending.remove(&entry.seq) {
                 continue; // cancelled entry: lazy deletion
             }
+            self.live -= 1;
             self.last_popped = entry.time;
             return Some((entry.time, entry.payload));
         }
@@ -162,8 +253,9 @@ impl<E> EventQueue<E> {
 
     /// Time of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<Time> {
+        self.maybe_compact();
         while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
+            if !entry.tracked || self.pending.contains(&entry.seq) {
                 return Some(entry.time);
             }
             self.heap.pop();
@@ -173,12 +265,12 @@ impl<E> EventQueue<E> {
 
     /// Number of live scheduled events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     /// The time of the last popped event (the queue's notion of "now").
@@ -192,6 +284,11 @@ impl<E> EventQueue<E> {
         self.causality_violations
     }
 
+    /// Number of debris-compaction rebuilds performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     /// Cross-check the reported live count against the actual heap
     /// contents (O(heap) scan; intended for end-of-run audits, not the
     /// hot path).
@@ -199,10 +296,10 @@ impl<E> EventQueue<E> {
         let actual_live = self
             .heap
             .iter()
-            .filter(|e| self.pending.contains(&e.seq))
+            .filter(|e| !e.tracked || self.pending.contains(&e.seq))
             .count();
         QueueAudit {
-            reported_live: self.pending.len(),
+            reported_live: self.live,
             actual_live,
             heap_total: self.heap.len(),
             causality_violations: self.causality_violations,
@@ -332,6 +429,108 @@ mod tests {
         let audit = q.audit();
         assert_eq!(audit.heap_total, 0, "no leaked entries: {audit:?}");
         assert!(audit.is_consistent());
+    }
+
+    #[test]
+    fn debris_stays_bounded_under_schedule_cancel_churn() {
+        // A long noise-heavy run reschedules drain events constantly:
+        // schedule a replacement, cancel the old key, never pop. Without
+        // compaction the heap grows by one dead entry per cycle; with it,
+        // occupancy must stay within a constant factor of the live count.
+        let mut q = EventQueue::new();
+        let mut keys: Vec<EventKey> = (0..100u64).map(|i| q.schedule(Time(i), i)).collect();
+        for round in 0..1_000u64 {
+            for k in keys.iter_mut() {
+                let new = q.schedule(Time(100 + round), round);
+                assert!(q.cancel(*k));
+                *k = new;
+                let audit = q.audit();
+                assert!(audit.is_consistent(), "{audit:?}");
+                assert!(
+                    audit.heap_total <= (2 * audit.reported_live).max(super::COMPACT_MIN_HEAP),
+                    "heap debris unbounded: {audit:?}"
+                );
+            }
+        }
+        assert!(q.compactions() > 0, "churn this heavy must compact");
+        // The queue still pops everything that is live, in order.
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 100);
+        assert_eq!(q.audit().heap_total, 0);
+    }
+
+    #[test]
+    fn compaction_preserves_pop_order_and_len() {
+        let mut q = EventQueue::new();
+        let keys: Vec<EventKey> = (0..200u64).map(|i| q.schedule(Time(1000 - i), i)).collect();
+        // Cancel three quarters; compaction will trigger along the way.
+        for k in keys.iter().take(150) {
+            q.cancel(*k);
+        }
+        assert_eq!(q.len(), 50);
+        let mut last = Time::ZERO;
+        let mut seen = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            seen.push(v);
+        }
+        // The survivors are exactly the 50 latest-scheduled payloads, in
+        // descending payload order (they were scheduled at descending
+        // times).
+        assert_eq!(seen, (150..200u64).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn untracked_and_tracked_events_interleave_by_time_and_seq() {
+        let mut q = EventQueue::new();
+        q.schedule_untracked(Time(5), "u5");
+        let t3 = q.schedule(Time(3), "t3");
+        q.schedule_untracked(Time(3), "u3"); // later seq than t3, same time
+        q.schedule(Time(1), "t1");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((Time(1), "t1")));
+        assert_eq!(q.pop(), Some((Time(3), "t3")));
+        assert_eq!(q.pop(), Some((Time(3), "u3")));
+        assert_eq!(q.pop(), Some((Time(5), "u5")));
+        assert!(q.is_empty());
+        assert!(!q.cancel(t3), "popped tracked key stays uncancellable");
+    }
+
+    #[test]
+    fn untracked_events_survive_compaction_and_audit() {
+        let mut q = EventQueue::new();
+        for i in 0..50u64 {
+            q.schedule_untracked(Time(1000 + i), i);
+        }
+        // Pile up enough cancelled debris to force a rebuild.
+        let keys: Vec<EventKey> = (0..200u64).map(|i| q.schedule(Time(i), 100 + i)).collect();
+        for k in &keys {
+            assert!(q.cancel(*k));
+        }
+        assert!(q.compactions() > 0, "debris must trigger a rebuild");
+        let audit = q.audit();
+        assert!(audit.is_consistent(), "{audit:?}");
+        assert_eq!(audit.reported_live, 50);
+        let mut popped = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            popped.push(v);
+        }
+        assert_eq!(popped, (0..50u64).collect::<Vec<_>>());
+        assert_eq!(q.audit().heap_total, 0);
+    }
+
+    #[test]
+    fn peek_time_sees_untracked_head_past_cancelled_debris() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time(1), 0);
+        q.schedule_untracked(Time(2), 1);
+        assert!(q.cancel(a));
+        assert_eq!(q.peek_time(), Some(Time(2)));
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -156,6 +156,12 @@ fn main() {
                 "  events={} messages={} unexpected={}",
                 res.stats.events, res.stats.messages, res.stats.unexpected_matches
             );
+            println!(
+                "  match_probes={} ({:.2}/event) share_recomputes={}",
+                res.stats.match_probes,
+                res.stats.match_probes as f64 / res.stats.events.max(1) as f64,
+                res.stats.net_share_recomputes
+            );
             println!("  {}", res.audit);
             return;
         }
@@ -207,6 +213,12 @@ fn main() {
     println!(
         "  events={} messages={} rendezvous={} unexpected={}",
         stats.events, stats.messages, stats.rendezvous, stats.unexpected_matches
+    );
+    println!(
+        "  match_probes={} ({:.2}/event) share_recomputes={}",
+        stats.match_probes,
+        stats.match_probes as f64 / stats.events.max(1) as f64,
+        stats.net_share_recomputes
     );
     println!("  audit: clean (invariants asserted by the runner)");
 }

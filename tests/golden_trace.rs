@@ -1,0 +1,103 @@
+//! Golden-trace determinism tests.
+//!
+//! The matching index and the incremental fair-share refresh are pure
+//! performance rewrites: they must not move a single delivery by a single
+//! nanosecond. These tests run quick-scale ADAPT broadcast and reduce on
+//! fixed seeds (with noise, so preemption and deferral paths are
+//! exercised) and compare per-rank completion times byte-for-byte against
+//! fixtures captured *before* the rewrites under `tests/golden/`.
+//!
+//! Regenerate (only when a behaviour change is intended and reviewed):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_trace
+//! ```
+
+use adapt::collectives::{CollectiveCase, Library, NoiseScope, OpKind};
+use adapt::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Serialize a run: header with aggregate counters, then one line per
+/// rank with its completion time in integer nanoseconds.
+fn serialize(res: &adapt::mpi::RunResult) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "events={} messages={} delivered_bytes={}",
+        res.stats.events, res.stats.messages, res.stats.delivered_bytes
+    )
+    .unwrap();
+    for (rank, t) in res.per_rank_finish.iter().enumerate() {
+        writeln!(out, "{rank},{}", t.as_nanos()).unwrap();
+    }
+    out
+}
+
+fn run_case(op: OpKind, msg_bytes: u64, noise_percent: f64, seed: u64) -> String {
+    let case = CollectiveCase {
+        machine: profiles::cori(4),
+        nranks: 128,
+        op,
+        library: Library::OmpiAdapt,
+        msg_bytes,
+    };
+    let noise = adapt::collectives::noise_for_case(&case, NoiseScope::PerNode, noise_percent, seed);
+    let world = World::cpu(case.machine.clone(), case.nranks, noise);
+    let res = world.run(case.programs());
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    serialize(&res)
+}
+
+fn check(name: &str, got: String) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        got, want,
+        "golden trace {name} diverged — per-rank completion times moved; \
+         a perf-only change must be time-identical"
+    );
+}
+
+#[test]
+fn golden_bcast_quiet() {
+    check(
+        "bcast_128r_1m_quiet.txt",
+        run_case(OpKind::Bcast, 1 << 20, 0.0, 1),
+    );
+}
+
+#[test]
+fn golden_bcast_noisy() {
+    check(
+        "bcast_128r_1m_noise10_seed42.txt",
+        run_case(OpKind::Bcast, 1 << 20, 10.0, 42),
+    );
+}
+
+#[test]
+fn golden_reduce_quiet() {
+    check(
+        "reduce_128r_1m_quiet.txt",
+        run_case(OpKind::Reduce, 1 << 20, 0.0, 1),
+    );
+}
+
+#[test]
+fn golden_reduce_noisy() {
+    check(
+        "reduce_128r_1m_noise10_seed42.txt",
+        run_case(OpKind::Reduce, 1 << 20, 10.0, 42),
+    );
+}
