@@ -12,6 +12,7 @@
 //! | `matching_unexpected` | receive posting against long unexpected queues |
 //! | `flow_churn` | fair-share refresh on a congested link under flow churn |
 //! | `fig8_quick_bcast` | end-to-end 256-rank broadcast sweep (quick fig8) |
+//! | `fig8_quick_bcast_256_traced` | the same sweep with observability recording on |
 //!
 //! `cargo run --release -p adapt-bench --bin perf` writes the results to
 //! `BENCH_PR2.json`; pass `--baseline old.json` to fold a previous run in
@@ -19,10 +20,11 @@
 //! the repo's benchmark trajectory is recorded across PRs.
 
 use crate::{CpuMachine, Scale, FIG89_SIZES};
-use adapt_collectives::{run_once, CollectiveCase, Library, OpKind};
+use adapt_collectives::{run_once, world_for_case, CollectiveCase, Library, NoiseScope, OpKind};
 use adapt_mpi::{Completion, Op, Payload, ProgramCtx, RankProgram, Token, World, WorldStats};
 use adapt_net::{FlowId, FlowScheduler, FlowSpec, Link, LinkClass, LinkId, NetStep, Network, Path};
 use adapt_noise::ClusterNoise;
+use adapt_obs::MemRecorder;
 use adapt_sim::queue::{EventKey, EventQueue};
 use adapt_sim::time::{Duration as SimDuration, Time};
 use adapt_topology::profiles;
@@ -346,6 +348,44 @@ pub fn bench_fig8_quick(scale: Scale) -> PerfResult {
     result("fig8_quick_bcast_256", wall_ms, stats_sum)
 }
 
+/// The same sweep with full observability recording attached (spans plus
+/// 10 µs gauge sampling), measuring the cost of instrumentation on the
+/// end-to-end hot path. Compare against `fig8_quick_bcast_256` to read the
+/// recording overhead.
+pub fn bench_fig8_quick_traced(scale: Scale) -> PerfResult {
+    let sizes: &[u64] = match scale {
+        Scale::Quick => &FIG89_SIZES,
+        Scale::Full => &FIG89_SIZES,
+    };
+    let spec = profiles::cori(8);
+    let nranks = 256;
+    let (wall_ms, stats_sum) = time_median(1, 3, || {
+        let mut sum = WorldStats::default();
+        for &msg_bytes in sizes {
+            let case = CollectiveCase {
+                machine: spec.clone(),
+                nranks,
+                op: OpKind::Bcast,
+                library: Library::OmpiAdapt,
+                msg_bytes,
+            };
+            let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+            let res = world
+                .with_recorder(Box::new(MemRecorder::with_metrics(10_000)))
+                .run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            let obs = res.obs.expect("recorded run carries observability data");
+            assert!(!obs.dispatches.is_empty() && !obs.gauges.is_empty());
+            let stats = res.stats;
+            sum.events += stats.events;
+            sum.match_probes += stats.match_probes;
+            sum.net_share_recomputes += stats.net_share_recomputes;
+        }
+        sum
+    });
+    result("fig8_quick_bcast_256_traced", wall_ms, stats_sum)
+}
+
 fn result(name: &'static str, wall_ms: f64, stats: WorldStats) -> PerfResult {
     PerfResult {
         name,
@@ -365,6 +405,7 @@ pub fn run_suite(scale: Scale, machine: CpuMachine) -> Vec<PerfResult> {
         bench_matching_unexpected(scale),
         bench_flow_churn(scale),
         bench_fig8_quick(scale),
+        bench_fig8_quick_traced(scale),
     ]
 }
 
@@ -413,7 +454,7 @@ pub fn parse_baseline(text: &str) -> Vec<(String, Baseline)> {
 pub fn to_json(scale: Scale, results: &[PerfResult], baselines: &[(String, Baseline)]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"pr\": 2,\n");
+    s.push_str("  \"pr\": 3,\n");
     s.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         match scale {
@@ -505,6 +546,42 @@ mod tests {
         // And the fold-in path emits speedups.
         let merged = to_json(Scale::Quick, &results, &parsed);
         assert!(merged.contains("\"speedup\": 1.00"));
+    }
+
+    #[test]
+    fn null_recorder_adds_zero_counters() {
+        // The default (recorder-off) path must be observationally free:
+        // identical timing and identical WorldStats counters whether the
+        // NullRecorder is implicit, explicit, or replaced by a live
+        // MemRecorder.
+        use adapt_noise::ClusterNoise;
+        use adapt_obs::NullRecorder;
+        let run = |rec: Option<Box<dyn adapt_obs::Recorder>>| {
+            let spec = profiles::minicluster(2, 2, 4);
+            let mut world = World::cpu(spec, 16, ClusterNoise::silent(16));
+            if let Some(rec) = rec {
+                world = world.with_recorder(rec);
+            }
+            let case = CollectiveCase {
+                machine: profiles::minicluster(2, 2, 4),
+                nranks: 16,
+                op: OpKind::Bcast,
+                library: Library::OmpiAdapt,
+                msg_bytes: 1 << 20,
+            };
+            let res = world.run(case.programs());
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            res
+        };
+        let plain = run(None);
+        let null = run(Some(Box::new(NullRecorder)));
+        let mem = run(Some(Box::new(MemRecorder::with_metrics(10_000))));
+        assert_eq!(format!("{}", plain.stats), format!("{}", null.stats));
+        assert_eq!(format!("{}", plain.stats), format!("{}", mem.stats));
+        assert_eq!(plain.makespan, null.makespan);
+        assert_eq!(plain.makespan, mem.makespan);
+        assert!(plain.obs.is_none() && null.obs.is_none());
+        assert!(mem.obs.is_some());
     }
 
     #[test]

@@ -61,6 +61,14 @@ impl PhasedProgram {
     }
 
     fn drive(&mut self, ctx: &mut dyn ProgramCtx, mut event: Option<Completion>) {
+        // Phase-boundary marks are observability-only ops (zero cost, no
+        // events): traces show which collective phase each rank was in.
+        if event.is_none() && self.current < self.phases.len() {
+            ctx.post(Op::Phase {
+                index: self.current as u32,
+                begin: true,
+            });
+        }
         loop {
             if self.current == self.phases.len() {
                 self.finished_at = Some(ctx.now());
@@ -88,7 +96,17 @@ impl PhasedProgram {
             if !finished {
                 return;
             }
+            ctx.post(Op::Phase {
+                index: self.current as u32,
+                begin: false,
+            });
             self.current += 1;
+            if self.current < self.phases.len() {
+                ctx.post(Op::Phase {
+                    index: self.current as u32,
+                    begin: true,
+                });
+            }
             // Loop: start the next phase (event is now None).
         }
     }
@@ -229,6 +247,8 @@ impl ProgramCtx for PhasedCtx<'_> {
                 bytes,
                 token: self.wrap_token(token),
             },
+            // Nested phase marks pass through untouched (no tag/token).
+            Op::Phase { index, begin } => Op::Phase { index, begin },
             Op::Finish => {
                 *self.finished = true;
                 return;

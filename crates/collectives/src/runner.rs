@@ -523,6 +523,21 @@ pub fn run_once(case: &CollectiveCase, noise_percent: f64, seed: u64) -> (f64, W
     run_once_scoped(case, NoiseScope::PerNode, noise_percent, seed)
 }
 
+/// Build the [`World`] and per-rank programs for one iteration of a case.
+/// Callers that need to attach a recorder or otherwise configure the world
+/// before running (the CLI's observability paths) start from here;
+/// [`run_once_scoped`] is this plus `run` and the audit assertion.
+pub fn world_for_case(
+    case: &CollectiveCase,
+    scope: NoiseScope,
+    noise_percent: f64,
+    seed: u64,
+) -> (World, Vec<Box<dyn RankProgram>>) {
+    let noise = noise_for_case(case, scope, noise_percent, seed);
+    let world = World::cpu(case.machine.clone(), case.nranks, noise);
+    (world, case.programs())
+}
+
 /// Run one iteration with an explicit noise scope.
 pub fn run_once_scoped(
     case: &CollectiveCase,
@@ -530,9 +545,8 @@ pub fn run_once_scoped(
     noise_percent: f64,
     seed: u64,
 ) -> (f64, WorldStats) {
-    let noise = noise_for_case(case, scope, noise_percent, seed);
-    let world = World::cpu(case.machine.clone(), case.nranks, noise);
-    let res = world.run(case.programs());
+    let (world, programs) = world_for_case(case, scope, noise_percent, seed);
+    let res = world.run(programs);
     assert!(
         res.audit.is_clean(),
         "{} {:?} {}B: {}",

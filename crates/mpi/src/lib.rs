@@ -21,7 +21,9 @@ pub mod program;
 pub mod world;
 
 pub use adapt_sim::audit::{AuditReport, RankAudit};
-pub use analysis::{busy_fractions, comm_matrix, event_counts, finish_skew};
+pub use analysis::{
+    busy_fractions, comm_matrix, event_counts, finish_skew, phase_breakdown, RankPhases,
+};
 pub use callbacks::{CallbackProgram, Cb};
 pub use datatype::{bytes_to_f64, combine, f64_to_bytes, DType, ReduceOp};
 pub use payload::Payload;

@@ -32,6 +32,7 @@
 
 use crate::program::{tag_matches, Tag, Token, ANY_TAG, WILDCARD_BIT};
 use adapt_sim::fxhash::{FxHashMap, FxHashSet};
+use adapt_sim::time::Time;
 use adapt_topology::{MemSpace, Rank};
 use std::collections::VecDeque;
 
@@ -45,6 +46,9 @@ pub(crate) struct PostedRecv {
     pub tag: Tag,
     pub token: Token,
     pub mem: MemSpace,
+    /// When the receive was posted (observability: late-sender /
+    /// late-receiver attribution). Matching never consults it.
+    pub posted_at: Time,
 }
 
 /// Is this posted tag a wildcard (matches more than one message tag)?
@@ -319,6 +323,7 @@ mod tests {
             tag,
             token: Token(token),
             mem: MemSpace::Host { node: 0, socket: 0 },
+            posted_at: Time::ZERO,
         }
     }
 

@@ -160,6 +160,15 @@ pub enum Op {
         /// Completion token.
         token: Token,
     },
+    /// Observability mark: the rank entered (`begin`) or left a
+    /// collective phase. Zero cost, schedules nothing — a run behaves
+    /// identically whether or not any program posts these.
+    Phase {
+        /// Phase index within the rank's phase chain.
+        index: u32,
+        /// Entering (`true`) or leaving (`false`) the phase.
+        begin: bool,
+    },
     /// The rank is done with the operation being simulated.
     Finish,
 }

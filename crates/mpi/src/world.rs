@@ -27,6 +27,10 @@ use crate::payload::Payload;
 use crate::program::{Completion, Op, ProgramCtx, RankProgram, Tag, Token};
 use adapt_net::{Fabric, FlowId, FlowScheduler, FlowSpec, NetStep, Network, Path};
 use adapt_noise::ClusterNoise;
+use adapt_obs::{
+    FlowClass, FlowStart, GaugeMetric, MsgEvent, NullRecorder, ObsData, ProtoKind, Recorder,
+    Trigger,
+};
 use adapt_sim::audit::{AuditReport, RankAudit};
 use adapt_sim::fxhash::FxHashMap;
 use adapt_sim::queue::{EventKey, EventQueue};
@@ -67,10 +71,21 @@ enum FlowKind {
     },
 }
 
+/// Sentinel for "no causing message" in [`RankItem::Deliver`].
+const NO_MSG: MsgId = u64::MAX;
+
 #[derive(Debug)]
 enum RankItem {
     Start,
-    Deliver(Completion),
+    Deliver {
+        c: Completion,
+        /// The message whose protocol step produced the completion
+        /// (send/recv completions only; `NO_MSG` otherwise) —
+        /// observability causality only, never consulted by the
+        /// simulation itself. A bare sentinel rather than an `Option`
+        /// keeps the event enum from growing for the recorder-off path.
+        msg: MsgId,
+    },
     RtsArrived(MsgId),
     CtsArrived(MsgId),
     EagerArrived(MsgId),
@@ -180,32 +195,64 @@ pub fn trace_to_csv(trace: &[TraceEvent]) -> String {
     out
 }
 
-/// Aggregate counters for one run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct WorldStats {
+/// Defines [`WorldStats`] once and derives everything that must agree
+/// with the field list: [`WorldStats::FIELD_NAMES`],
+/// [`WorldStats::fields`], and the `Display` impl. Adding a counter here
+/// automatically adds it to the CLI output and its completeness test.
+macro_rules! world_stats {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Aggregate counters for one run.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct WorldStats {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl WorldStats {
+            /// Every counter's name, in declaration order.
+            pub const FIELD_NAMES: &'static [&'static str] = &[$(stringify!($name)),+];
+
+            /// Iterate `(name, value)` over every counter, in declaration
+            /// order.
+            pub fn fields(&self) -> impl Iterator<Item = (&'static str, u64)> {
+                [$((stringify!($name), self.$name)),+].into_iter()
+            }
+        }
+
+        impl std::fmt::Display for WorldStats {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                for (name, value) in self.fields() {
+                    writeln!(f, "  {name:<20} {value}")?;
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+world_stats! {
     /// Events processed by the main loop.
-    pub events: u64,
+    events,
     /// Point-to-point messages initiated.
-    pub messages: u64,
+    messages,
     /// Receives that matched an already-arrived (unexpected) eager message.
-    pub unexpected_matches: u64,
+    unexpected_matches,
     /// Rendezvous handshakes performed.
-    pub rendezvous: u64,
+    rendezvous,
     /// Payload bytes delivered by the network.
-    pub delivered_bytes: u64,
+    delivered_bytes,
     /// Network-engine diagnostics: neighbour refresh scans.
-    pub net_refreshes: u64,
+    net_refreshes,
     /// Network-engine diagnostics: drain-event reschedules.
-    pub net_reschedules: u64,
+    net_reschedules,
     /// Matching-engine diagnostics: queue entries examined while matching
     /// arrivals against posted receives and posted receives against the
     /// unexpected queues. The per-event matching cost of the progress
     /// engine is `match_probes / events` — the complexity claim made by
     /// the matching index is checkable from this number alone.
-    pub match_probes: u64,
+    match_probes,
     /// Network-engine diagnostics: full path-minimum share recomputations
     /// performed while refreshing flows after a perturbation.
-    pub net_share_recomputes: u64,
+    net_share_recomputes,
 }
 
 /// Outcome of a completed simulation.
@@ -229,6 +276,9 @@ pub struct RunResult {
     pub programs: Vec<Box<dyn RankProgram>>,
     /// Recorded event timeline (empty unless tracing was enabled).
     pub trace: Vec<TraceEvent>,
+    /// Full observability record (`None` unless a recorder was attached
+    /// via [`World::with_recorder`]).
+    pub obs: Option<ObsData>,
 }
 
 struct QueueSched<'a>(&'a mut EventQueue<Ev>);
@@ -306,6 +356,11 @@ pub struct World {
     async_progress: bool,
     /// Recorded events (empty unless tracing is enabled).
     trace: Option<Vec<TraceEvent>>,
+    /// Observability recorder (a no-op [`NullRecorder`] by default).
+    obs: Box<dyn Recorder>,
+    /// Cached `obs.enabled()` — every probe site branches on this flag
+    /// only, so a disabled recorder costs one predictable branch.
+    obs_on: bool,
 }
 
 impl World {
@@ -336,7 +391,21 @@ impl World {
             max_events: 2_000_000_000,
             async_progress: false,
             trace: None,
+            obs: Box::new(NullRecorder),
+            obs_on: false,
         }
+    }
+
+    /// Attach an observability recorder (see [`adapt_obs`]): structured
+    /// spans, message lifetimes, sampled gauges. Recording must never
+    /// move a single event — all probes piggyback on values the
+    /// simulation computes anyway (noise window generation is
+    /// deterministic and idempotent, so obs-only `finish_work` queries
+    /// return what a later call would have returned regardless).
+    pub fn with_recorder(mut self, rec: Box<dyn Recorder>) -> World {
+        self.obs_on = rec.enabled();
+        self.obs = rec;
+        self
     }
 
     /// Record a per-rank event timeline into
@@ -404,7 +473,31 @@ impl World {
             );
         }
 
+        if self.obs_on {
+            let labels = self
+                .net
+                .links()
+                .iter()
+                .map(|l| format!("{:?}", l.class))
+                .collect();
+            self.obs.meta(self.nranks(), labels);
+        }
+        let sample_iv = if self.obs_on {
+            self.obs.metrics_interval().unwrap_or(0)
+        } else {
+            0
+        };
+        let mut next_sample = 0u64;
+
         while let Some((t, ev)) = self.queue.pop() {
+            if sample_iv > 0 {
+                // Gauges sample the state *between* events, on interval
+                // boundaries up to the event about to be processed.
+                while next_sample <= t.as_nanos() {
+                    self.sample_gauges(next_sample);
+                    next_sample += sample_iv;
+                }
+            }
             self.stats.events += 1;
             assert!(
                 self.stats.events <= self.max_events,
@@ -414,6 +507,11 @@ impl World {
                 Ev::Net(flow) => self.on_net_event(t, flow),
                 Ev::Rank { rank, item } => self.rank_step(t, rank, item),
                 Ev::Launch { kind, path, bytes } => {
+                    let links: Vec<u32> = if self.obs_on {
+                        path.as_slice().iter().map(|l| l.0).collect()
+                    } else {
+                        Vec::new()
+                    };
                     let mut sched = QueueSched(&mut self.queue);
                     let flow = self.net.start_flow(
                         t,
@@ -429,6 +527,42 @@ impl World {
                         self.flow_kinds.resize_with(slot + 1, || None);
                     }
                     self.flow_kinds[slot] = Some(kind);
+                    if self.obs_on {
+                        let (class, msg, frank, token) = match kind {
+                            FlowKind::Rts(m) => (FlowClass::Rts, Some(m), self.msgs[&m].src, 0),
+                            FlowKind::Cts(m) => (FlowClass::Cts, Some(m), self.msgs[&m].dst, 0),
+                            FlowKind::EagerData(m) => {
+                                (FlowClass::Eager, Some(m), self.msgs[&m].src, 0)
+                            }
+                            FlowKind::RndvData(m) => {
+                                (FlowClass::Rndv, Some(m), self.msgs[&m].src, 0)
+                            }
+                            FlowKind::Copy { rank, token, .. } => {
+                                (FlowClass::Copy, None, rank, token.0)
+                            }
+                        };
+                        match kind {
+                            FlowKind::Cts(m) => {
+                                self.obs.msg_event(m, MsgEvent::CtsLaunch, t.as_nanos())
+                            }
+                            FlowKind::RndvData(m) => {
+                                self.obs.msg_event(m, MsgEvent::DataLaunch, t.as_nanos())
+                            }
+                            _ => {}
+                        }
+                        self.obs.flow_start(
+                            flow.0 as u32,
+                            FlowStart {
+                                class,
+                                msg,
+                                rank: frank,
+                                token,
+                                bytes,
+                                links,
+                                t_ns: t.as_nanos(),
+                            },
+                        );
+                    }
                 }
             }
             if self.finished == self.nranks() {
@@ -511,12 +645,19 @@ impl World {
         // Ops are recorded at their (possibly future) execution instants in
         // processing order; sort so the timeline reads chronologically.
         trace.sort_by_key(|e| e.time_ns);
+        let obs = if self.obs_on {
+            let finish_ns: Vec<u64> = per_rank_finish.iter().map(|t| t.as_nanos()).collect();
+            self.obs.finish(&finish_ns)
+        } else {
+            None
+        };
         RunResult {
             makespan,
             per_rank_finish,
             per_rank_busy,
             trace,
             audit,
+            obs,
             stats: self.stats,
             programs: self
                 .programs
@@ -549,6 +690,34 @@ impl World {
         }
     }
 
+    /// Record one round of time-series gauges at `t_ns` (recorder
+    /// attached and sampling enabled only).
+    fn sample_gauges(&mut self, t_ns: u64) {
+        let posted: usize = self.ranks.iter().map(|r| r.posted.len()).sum();
+        let unexp: usize = self
+            .ranks
+            .iter()
+            .map(|r| r.unexp_eager.len() + r.unexp_rts.len())
+            .sum();
+        self.obs
+            .gauge(t_ns, GaugeMetric::PostedDepth, 0, posted as f64);
+        self.obs
+            .gauge(t_ns, GaugeMetric::UnexpectedDepth, 0, unexp as f64);
+        self.obs.gauge(
+            t_ns,
+            GaugeMetric::LiveFlows,
+            0,
+            self.net.active_flows() as f64,
+        );
+        self.obs
+            .gauge(t_ns, GaugeMetric::EventQueueLen, 0, self.queue.len() as f64);
+        let obs = &mut self.obs;
+        self.net.for_each_link_load(|link, count, util| {
+            obs.gauge(t_ns, GaugeMetric::LinkFlows, link, count as f64);
+            obs.gauge(t_ns, GaugeMetric::LinkUtil, link, util);
+        });
+    }
+
     // ------------------------------------------------------------------
     // Network event dispatch
     // ------------------------------------------------------------------
@@ -559,15 +728,24 @@ impl World {
         match step {
             NetStep::Progress => {}
             NetStep::Drained { flow, .. } => {
+                if self.obs_on {
+                    self.obs.flow_drained(flow.0 as u32, t.as_nanos());
+                }
                 match self.flow_kinds[flow.0 as usize].expect("drain of unknown flow") {
                     FlowKind::EagerData(m) | FlowKind::RndvData(m) => {
+                        if self.obs_on {
+                            self.obs.msg_event(m, MsgEvent::Drained, t.as_nanos());
+                        }
                         let msg = &self.msgs[&m];
                         let (src, token) = (msg.src, msg.send_token);
                         self.queue.schedule_untracked(
                             t,
                             Ev::Rank {
                                 rank: src,
-                                item: RankItem::Deliver(Completion::SendDone { token }),
+                                item: RankItem::Deliver {
+                                    c: Completion::SendDone { token },
+                                    msg: m,
+                                },
                             },
                         );
                     }
@@ -581,6 +759,21 @@ impl World {
                 let kind = self.flow_kinds[d.flow.0 as usize]
                     .take()
                     .expect("delivery of unknown flow");
+                if self.obs_on {
+                    self.obs.flow_delivered(d.flow.0 as u32, t.as_nanos());
+                    match kind {
+                        FlowKind::Rts(m) => {
+                            self.obs.msg_event(m, MsgEvent::RtsArrived, t.as_nanos())
+                        }
+                        FlowKind::Cts(m) => {
+                            self.obs.msg_event(m, MsgEvent::CtsArrived, t.as_nanos())
+                        }
+                        FlowKind::EagerData(m) | FlowKind::RndvData(m) => {
+                            self.obs.msg_event(m, MsgEvent::Delivered, t.as_nanos())
+                        }
+                        FlowKind::Copy { .. } => {}
+                    }
+                }
                 let (rank, item) = match kind {
                     FlowKind::Rts(m) => (self.msgs[&m].dst, RankItem::RtsArrived(m)),
                     FlowKind::Cts(m) => (self.msgs[&m].src, RankItem::CtsArrived(m)),
@@ -588,7 +781,13 @@ impl World {
                     FlowKind::RndvData(m) => (self.msgs[&m].dst, RankItem::RndvDataArrived(m)),
                     FlowKind::Copy { rank, token, bytes } => {
                         self.byte_audit.copy_completed += bytes;
-                        (rank, RankItem::Deliver(Completion::CopyDone { token }))
+                        (
+                            rank,
+                            RankItem::Deliver {
+                                c: Completion::CopyDone { token },
+                                msg: NO_MSG,
+                            },
+                        )
                     }
                 };
                 self.queue.schedule_untracked(t, Ev::Rank { rank, item });
@@ -619,11 +818,30 @@ impl World {
                 let (hit, probes) = state.posted.match_arrival(src, tag);
                 self.stats.match_probes += probes;
                 if let Some(posted) = hit {
+                    if self.obs_on {
+                        self.obs.msg_event(
+                            m,
+                            MsgEvent::Matched {
+                                posted_ns: Some(posted.posted_at.as_nanos()),
+                                unexpected: false,
+                            },
+                            t.as_nanos(),
+                        );
+                    }
                     self.complete_recv(t, rank, m, posted.token);
                 } else {
                     state.unexp_eager.push(src, tag, m);
                     let e = self.cpu_ready(rank, t);
-                    self.bump_busy(rank, e, CTRL_OVERHEAD);
+                    let done = self.bump_busy(rank, e, CTRL_OVERHEAD);
+                    if self.obs_on {
+                        self.obs.protocol(
+                            rank,
+                            e.as_nanos(),
+                            done.as_nanos(),
+                            ProtoKind::Unexpected,
+                            m,
+                        );
+                    }
                 }
                 return;
             }
@@ -637,11 +855,30 @@ impl World {
                 self.stats.match_probes += probes;
                 if let Some(posted) = hit {
                     let e = self.cpu_ready(rank, t);
+                    if self.obs_on {
+                        self.obs.msg_event(
+                            m,
+                            MsgEvent::Matched {
+                                posted_ns: Some(posted.posted_at.as_nanos()),
+                                unexpected: false,
+                            },
+                            e.as_nanos(),
+                        );
+                    }
                     self.accept_rndv(e, rank, m, posted);
                 } else {
                     state.unexp_rts.push(src, tag, m);
                     let e = self.cpu_ready(rank, t);
-                    self.bump_busy(rank, e, CTRL_OVERHEAD);
+                    let done = self.bump_busy(rank, e, CTRL_OVERHEAD);
+                    if self.obs_on {
+                        self.obs.protocol(
+                            rank,
+                            e.as_nanos(),
+                            done.as_nanos(),
+                            ProtoKind::Unexpected,
+                            m,
+                        );
+                    }
                 }
                 return;
             }
@@ -661,8 +898,8 @@ impl World {
         }
 
         match item {
-            RankItem::Start => self.run_handler(rank, t, None),
-            RankItem::Deliver(c) => self.run_handler(rank, t, Some(c)),
+            RankItem::Start => self.run_handler(rank, t, None, NO_MSG),
+            RankItem::Deliver { c, msg } => self.run_handler(rank, t, Some(c), msg),
             RankItem::CtsArrived(m) => {
                 // Sender side: launch the data flow.
                 let (path, bytes) = {
@@ -680,6 +917,10 @@ impl World {
                     )
                 };
                 let at = self.bump_busy(rank, t, CTRL_OVERHEAD);
+                if self.obs_on {
+                    self.obs
+                        .protocol(rank, t.as_nanos(), at.as_nanos(), ProtoKind::DataLaunch, m);
+                }
                 self.queue.schedule_untracked(
                     at,
                     Ev::Launch {
@@ -729,6 +970,10 @@ impl World {
             )
         };
         let at = self.bump_busy(rank, t, CTRL_OVERHEAD);
+        if self.obs_on {
+            self.obs
+                .protocol(rank, t.as_nanos(), at.as_nanos(), ProtoKind::CtsSend, m);
+        }
         self.queue.schedule_untracked(
             at,
             Ev::Launch {
@@ -742,16 +987,22 @@ impl World {
     /// Deliver a RecvDone completion for message `m` to `rank`.
     fn complete_recv(&mut self, t: Time, rank: Rank, m: MsgId, token: Token) {
         let msg = self.msgs.remove(&m).expect("msg");
+        if self.obs_on {
+            self.obs.msg_event(m, MsgEvent::RecvReady, t.as_nanos());
+        }
         self.queue.schedule_untracked(
             t,
             Ev::Rank {
                 rank,
-                item: RankItem::Deliver(Completion::RecvDone {
-                    token,
-                    src: msg.src,
-                    tag: msg.tag,
-                    data: msg.payload,
-                }),
+                item: RankItem::Deliver {
+                    c: Completion::RecvDone {
+                        token,
+                        src: msg.src,
+                        tag: msg.tag,
+                        data: msg.payload,
+                    },
+                    msg: m,
+                },
             },
         );
     }
@@ -774,7 +1025,25 @@ impl World {
     // Program handlers and op application
     // ------------------------------------------------------------------
 
-    fn run_handler(&mut self, rank: Rank, t: Time, completion: Option<Completion>) {
+    fn run_handler(
+        &mut self,
+        rank: Rank,
+        t: Time,
+        completion: Option<Completion>,
+        cause_msg: MsgId,
+    ) {
+        let trigger = if self.obs_on {
+            Some(match &completion {
+                None => Trigger::Start,
+                Some(Completion::SendDone { .. }) => Trigger::SendDone { msg: cause_msg },
+                Some(Completion::RecvDone { .. }) => Trigger::RecvDone { msg: cause_msg },
+                Some(Completion::ComputeDone { token }) => Trigger::ComputeDone { token: token.0 },
+                Some(Completion::CopyDone { token }) => Trigger::CopyDone { token: token.0 },
+                Some(Completion::GpuDone { token }) => Trigger::GpuDone { token: token.0 },
+            })
+        } else {
+            None
+        };
         match &completion {
             Some(Completion::SendDone { .. }) => {
                 self.ranks[rank as usize].audit.sends_completed += 1;
@@ -820,7 +1089,7 @@ impl World {
             sink.ops
         };
         self.programs[rank as usize] = Some(prog);
-        self.apply_ops(rank, t, base_cost, ops);
+        self.apply_ops(rank, t, base_cost, ops, trigger);
     }
 
     #[inline]
@@ -836,7 +1105,14 @@ impl World {
         }
     }
 
-    fn apply_ops(&mut self, rank: Rank, t: Time, base_cost: Duration, ops: Vec<Op>) {
+    fn apply_ops(
+        &mut self,
+        rank: Rank,
+        t: Time,
+        base_cost: Duration,
+        ops: Vec<Op>,
+        trigger: Option<Trigger>,
+    ) {
         let mut cost = base_cost;
         for op in ops {
             match op {
@@ -876,21 +1152,49 @@ impl World {
                         let state = &mut self.ranks[rank as usize];
                         state.busy_until = done;
                         state.busy_accum += work;
+                        if self.obs_on {
+                            self.obs.compute(
+                                rank,
+                                token.0,
+                                start.as_nanos(),
+                                done.as_nanos(),
+                                false,
+                            );
+                        }
                         self.queue.schedule_untracked(
                             done,
                             Ev::Rank {
                                 rank,
-                                item: RankItem::Deliver(Completion::ComputeDone { token }),
+                                item: RankItem::Deliver {
+                                    c: Completion::ComputeDone { token },
+                                    msg: NO_MSG,
+                                },
                             },
                         );
                     } else {
+                        // The begin query is observability-only: the noise
+                        // window stream is deterministic and idempotent,
+                        // so asking early returns the same instant a later
+                        // call would.
+                        let begin = if self.obs_on {
+                            Some(self.noise.finish_work(rank, t, cost))
+                        } else {
+                            None
+                        };
                         cost += work;
                         let at = self.noise.finish_work(rank, t, cost);
+                        if let Some(begin) = begin {
+                            self.obs
+                                .compute(rank, token.0, begin.as_nanos(), at.as_nanos(), false);
+                        }
                         self.queue.schedule_untracked(
                             at,
                             Ev::Rank {
                                 rank,
-                                item: RankItem::Deliver(Completion::ComputeDone { token }),
+                                item: RankItem::Deliver {
+                                    c: Completion::ComputeDone { token },
+                                    msg: NO_MSG,
+                                },
                             },
                         );
                     }
@@ -907,11 +1211,18 @@ impl World {
                     let done = start
                         + Duration::from_secs_f64(bytes as f64 / self.spec.gpu_reduce_bandwidth);
                     state.gpu_stream_busy = done;
+                    if self.obs_on {
+                        self.obs
+                            .compute(rank, token.0, start.as_nanos(), done.as_nanos(), true);
+                    }
                     self.queue.schedule_untracked(
                         done,
                         Ev::Rank {
                             rank,
-                            item: RankItem::Deliver(Completion::GpuDone { token }),
+                            item: RankItem::Deliver {
+                                c: Completion::GpuDone { token },
+                                msg: NO_MSG,
+                            },
                         },
                     );
                 }
@@ -934,6 +1245,14 @@ impl World {
                         },
                     );
                 }
+                Op::Phase { index, begin } => {
+                    // A pure observability mark: zero cost, no events, so
+                    // posting it cannot move the simulation.
+                    if self.obs_on {
+                        let at = self.noise.finish_work(rank, t, cost);
+                        self.obs.phase(rank, index, begin, at.as_nanos());
+                    }
+                }
                 Op::Finish => {
                     let at = self.noise.finish_work(rank, t, cost);
                     self.record(at, rank, TraceKind::Finish, 0, 0);
@@ -946,6 +1265,10 @@ impl World {
             }
         }
         let done = self.noise.finish_work(rank, t, cost);
+        if let Some(trigger) = trigger {
+            self.obs
+                .dispatch(rank, t.as_nanos(), done.as_nanos(), trigger);
+        }
         let state = &mut self.ranks[rank as usize];
         if self.async_progress {
             state.prog_busy_until = state.prog_busy_until.max(done);
@@ -980,6 +1303,17 @@ impl World {
         let bytes = payload.len();
         let m = self.next_msg;
         self.next_msg += 1;
+        if self.obs_on {
+            self.obs.msg_posted(
+                m,
+                src,
+                dst,
+                tag,
+                bytes,
+                bytes <= self.spec.eager_limit,
+                at.as_nanos(),
+            );
+        }
         self.msgs.insert(
             m,
             Msg {
@@ -1016,7 +1350,10 @@ impl World {
                     at,
                     Ev::Rank {
                         rank: src,
-                        item: RankItem::Deliver(Completion::SendDone { token }),
+                        item: RankItem::Deliver {
+                            c: Completion::SendDone { token },
+                            msg: m,
+                        },
                     },
                 );
             }
@@ -1053,6 +1390,16 @@ impl World {
         self.stats.match_probes += probes;
         if let Some(m) = hit {
             self.stats.unexpected_matches += 1;
+            if self.obs_on {
+                self.obs.msg_event(
+                    m,
+                    MsgEvent::Matched {
+                        posted_ns: Some(at.as_nanos()),
+                        unexpected: true,
+                    },
+                    at.as_nanos(),
+                );
+            }
             let bytes = self.msgs[&m].payload.len();
             let copy_cost = self.spec.unexpected_overhead
                 + Duration::from_secs_f64(bytes as f64 / self.spec.unexpected_copy_bandwidth);
@@ -1066,11 +1413,22 @@ impl World {
         let (hit, probes) = self.ranks[rank as usize].unexp_rts.match_posted(src, tag);
         self.stats.match_probes += probes;
         if let Some(m) = hit {
+            if self.obs_on {
+                self.obs.msg_event(
+                    m,
+                    MsgEvent::Matched {
+                        posted_ns: Some(at.as_nanos()),
+                        unexpected: true,
+                    },
+                    at.as_nanos(),
+                );
+            }
             let posted = PostedRecv {
                 src,
                 tag,
                 token,
                 mem,
+                posted_at: at,
             };
             self.accept_rndv(at, rank, m, posted);
             return CTRL_OVERHEAD;
@@ -1080,6 +1438,7 @@ impl World {
             tag,
             token,
             mem,
+            posted_at: at,
         });
         Duration::ZERO
     }

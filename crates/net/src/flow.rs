@@ -235,6 +235,30 @@ impl Network {
         self.injected_bytes
     }
 
+    /// Visit every link currently carrying flows, for time-series
+    /// sampling: calls `f(link_id, flow_count, utilization)` where
+    /// `utilization` is the summed drain rate of the link's flows over
+    /// its capacity (flows in tail contribute occupancy but no rate).
+    /// Idle links are skipped — a large machine has mostly-idle lanes.
+    pub fn for_each_link_load(&self, mut f: impl FnMut(u32, usize, f64)) {
+        for (l, flows) in self.link_flows.iter().enumerate() {
+            if flows.is_empty() {
+                continue;
+            }
+            let mut used = 0.0;
+            for &fi in flows {
+                if let Some(Some(flow)) = self.slab.get(fi as usize) {
+                    if let Phase::Draining { rate, .. } = flow.phase {
+                        used += rate;
+                    }
+                }
+            }
+            let cap = self.links[l].capacity;
+            let util = if cap > 0.0 { used / cap } else { 0.0 };
+            f(l as u32, flows.len(), util);
+        }
+    }
+
     /// Diagnostics: perf counters accumulated so far.
     pub fn perf_counters(&self) -> NetPerf {
         NetPerf {

@@ -1,0 +1,58 @@
+//! Validate exported observability artifacts (used by CI).
+//!
+//! Usage: `obs-validate <trace.json> [metrics.csv]`
+//!
+//! Exits non-zero with a diagnostic if the Chrome trace fails to parse,
+//! spans on a serial track partially overlap, async begin/end events
+//! don't pair up, or the metrics CSV is malformed.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 2 {
+        eprintln!("usage: obs-validate <trace.json> [metrics.csv]");
+        return ExitCode::from(2);
+    }
+
+    let trace_path = &args[0];
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs-validate: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match adapt_obs::validate_chrome(&text) {
+        Ok(s) => {
+            println!(
+                "{trace_path}: OK — {} events ({} complete spans on {} tracks, \
+                 {} async spans, {} counters)",
+                s.events, s.complete_spans, s.tracks, s.async_spans, s.counters
+            );
+        }
+        Err(e) => {
+            eprintln!("{trace_path}: INVALID — {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(csv_path) = args.get(1) {
+        let text = match std::fs::read_to_string(csv_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs-validate: cannot read {csv_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match adapt_obs::validate_metrics_csv(&text) {
+            Ok(rows) => println!("{csv_path}: OK — {rows} metric rows"),
+            Err(e) => {
+                eprintln!("{csv_path}: INVALID — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    ExitCode::SUCCESS
+}

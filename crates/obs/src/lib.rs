@@ -1,0 +1,47 @@
+//! # adapt-obs — cross-layer observability for the simulator
+//!
+//! A zero-cost-when-disabled instrumentation layer threaded through the
+//! event loop, the network engine, the MPI progress engine, and the
+//! collectives runner:
+//!
+//! * **Structured spans** — typed begin/end records for event-loop
+//!   dispatch, protocol actions (CTS handshakes, rendezvous data
+//!   launches, unexpected-queue bookkeeping), per-message lifetimes
+//!   (post → match → rendezvous → delivery → callback), compute/GPU
+//!   work, and collective phases. All timestamps ride the deterministic
+//!   simulation clock (integer nanoseconds), so recorded output is
+//!   bit-reproducible across runs.
+//! * **Time-series metrics** — sampled gauges (posted/unexpected queue
+//!   depth, live-flow count, per-link utilization, event-queue
+//!   occupancy) taken at fixed sim-time intervals.
+//! * **Exporters** — Chrome trace-event JSON ([`chrome_trace`],
+//!   loadable in Perfetto / `chrome://tracing`, one track per rank and
+//!   one per link) and a flat CSV metrics dump ([`metrics_csv`]).
+//! * **Critical-path analysis** — [`critical_path`] walks span
+//!   causality backwards from the last completing rank and attributes
+//!   the makespan to layers (network, matching, protocol, callbacks,
+//!   compute, blocked waiting).
+//!
+//! The runtime talks to the layer through the [`Recorder`] trait. The
+//! default [`NullRecorder`] compiles every probe down to a single
+//! predictable branch on a cached flag; [`MemRecorder`] accumulates an
+//! [`ObsData`] for export and analysis. The contract the test suite
+//! enforces: attaching any recorder must not move a single event — run
+//! results are identical with recording on or off.
+
+mod chrome;
+mod critical;
+mod metrics;
+mod record;
+mod recorder;
+mod validate;
+
+pub use chrome::chrome_trace;
+pub use critical::{critical_path, CriticalPath, Layer, Segment};
+pub use metrics::metrics_csv;
+pub use record::{
+    ComputeRec, DispatchSpan, FlowClass, FlowRec, GaugeMetric, GaugeRec, MsgRec, ObsData, PhaseRec,
+    ProtoKind, ProtoSpan, Trigger,
+};
+pub use recorder::{FlowStart, MemRecorder, MsgEvent, NullRecorder, Recorder};
+pub use validate::{parse_json, validate_chrome, validate_metrics_csv, ChromeSummary, Json};

@@ -1,0 +1,362 @@
+//! The [`Recorder`] boundary between the runtime and the observability
+//! layer, plus its two implementations.
+//!
+//! The runtime caches `enabled()` in a flag and guards every probe with
+//! it, so the disabled path costs one predictable branch per probe and
+//! allocates nothing — the perf harness' `fig8_quick_bcast_256` scenario
+//! runs with the [`NullRecorder`] and must show no regression.
+
+use crate::record::*;
+
+/// A step in a message's lifetime, reported as it happens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgEvent {
+    /// RTS control message reached the receiver.
+    RtsArrived,
+    /// Receiver launched the CTS reply.
+    CtsLaunch,
+    /// CTS reached the sender.
+    CtsArrived,
+    /// Sender launched the rendezvous payload flow.
+    DataLaunch,
+    /// Payload fully injected (sender side complete).
+    Drained,
+    /// Payload fully delivered at the receiver.
+    Delivered,
+    /// Arrival and posted receive matched.
+    Matched {
+        /// When the matching receive was posted (ns), if known.
+        posted_ns: Option<u64>,
+        /// The message had been queued unexpected before the match.
+        unexpected: bool,
+    },
+    /// RecvDone scheduled for the receiving program.
+    RecvReady,
+}
+
+/// A flow launch, reported with its routing.
+#[derive(Clone, Debug)]
+pub struct FlowStart {
+    /// Protocol class.
+    pub class: FlowClass,
+    /// Owning message (`None` for copies).
+    pub msg: Option<u64>,
+    /// Initiating rank.
+    pub rank: u32,
+    /// Copy token (copies only).
+    pub token: u64,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Link ids along the path.
+    pub links: Vec<u32>,
+    /// Launch instant (ns).
+    pub t_ns: u64,
+}
+
+/// What the runtime reports to an attached observability sink. Every
+/// method has a no-op default so sinks implement only what they need;
+/// timestamps are deterministic simulation nanoseconds.
+///
+/// Attaching a recorder must never change simulation behaviour: probes
+/// only read state the runtime computed anyway, and the golden tests
+/// assert run results are identical with recording on and off.
+pub trait Recorder {
+    /// Should the runtime fire probes at all? Cached by the runtime.
+    fn enabled(&self) -> bool {
+        false
+    }
+    /// Gauge sampling interval in sim-time ns (`None` = no sampling).
+    fn metrics_interval(&self) -> Option<u64> {
+        None
+    }
+    /// Job shape, reported once at run start.
+    fn meta(&mut self, _nranks: u32, _link_labels: Vec<String>) {}
+    /// A send was posted (creates message id `_msg`).
+    #[allow(clippy::too_many_arguments)] // mirrors the send signature
+    fn msg_posted(
+        &mut self,
+        _msg: u64,
+        _src: u32,
+        _dst: u32,
+        _tag: u32,
+        _bytes: u64,
+        _eager: bool,
+        _t_ns: u64,
+    ) {
+    }
+    /// A lifetime step of message `_msg`.
+    fn msg_event(&mut self, _msg: u64, _ev: MsgEvent, _t_ns: u64) {}
+    /// A flow launched into network slot `_slot` (slots are reused; the
+    /// latest launch owns the slot).
+    fn flow_start(&mut self, _slot: u32, _rec: FlowStart) {}
+    /// The flow in `_slot` fully injected its bytes.
+    fn flow_drained(&mut self, _slot: u32, _t_ns: u64) {}
+    /// The flow in `_slot` delivered (and left the network).
+    fn flow_delivered(&mut self, _slot: u32, _t_ns: u64) {}
+    /// A program handler dispatch completed.
+    fn dispatch(&mut self, _rank: u32, _begin_ns: u64, _end_ns: u64, _trigger: Trigger) {}
+    /// A protocol action completed on a rank's CPU.
+    fn protocol(&mut self, _rank: u32, _begin_ns: u64, _end_ns: u64, _kind: ProtoKind, _msg: u64) {}
+    /// A compute or GPU work span completed (times may be in the future
+    /// at report time — the simulator schedules deterministically).
+    fn compute(&mut self, _rank: u32, _token: u64, _begin_ns: u64, _end_ns: u64, _gpu: bool) {}
+    /// A collective-phase boundary mark.
+    fn phase(&mut self, _rank: u32, _phase: u32, _begin: bool, _t_ns: u64) {}
+    /// A sampled gauge value.
+    fn gauge(&mut self, _t_ns: u64, _metric: GaugeMetric, _index: u32, _value: f64) {}
+    /// The run completed; return the accumulated data, if any.
+    fn finish(&mut self, _per_rank_finish_ns: &[u64]) -> Option<ObsData> {
+        None
+    }
+}
+
+/// The default sink: recording off, every probe a no-op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// Accumulates every probe into an [`ObsData`] for export and analysis.
+#[derive(Debug, Default)]
+pub struct MemRecorder {
+    data: ObsData,
+    interval_ns: Option<u64>,
+    /// Network slot → index into `data.flows` of the latest flow that
+    /// occupied it (slots are reused).
+    slot_flows: Vec<u32>,
+}
+
+impl MemRecorder {
+    /// Record spans only (no gauge sampling).
+    pub fn new() -> MemRecorder {
+        MemRecorder::default()
+    }
+
+    /// Record spans and sample gauges every `interval_ns` of sim time.
+    pub fn with_metrics(interval_ns: u64) -> MemRecorder {
+        MemRecorder {
+            interval_ns: Some(interval_ns.max(1)),
+            ..MemRecorder::default()
+        }
+    }
+
+    fn msg_mut(&mut self, msg: u64) -> &mut MsgRec {
+        let i = msg as usize;
+        if self.data.msgs.len() <= i {
+            self.data.msgs.resize(i + 1, MsgRec::default());
+        }
+        &mut self.data.msgs[i]
+    }
+
+    fn slot_flow_mut(&mut self, slot: u32) -> Option<&mut FlowRec> {
+        let idx = *self.slot_flows.get(slot as usize)?;
+        self.data.flows.get_mut(idx as usize)
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn metrics_interval(&self) -> Option<u64> {
+        self.interval_ns
+    }
+
+    fn meta(&mut self, nranks: u32, link_labels: Vec<String>) {
+        self.data.nranks = nranks;
+        self.data.link_labels = link_labels;
+        self.data.metrics_interval_ns = self.interval_ns.unwrap_or(0);
+    }
+
+    fn msg_posted(
+        &mut self,
+        msg: u64,
+        src: u32,
+        dst: u32,
+        tag: u32,
+        bytes: u64,
+        eager: bool,
+        t_ns: u64,
+    ) {
+        let rec = self.msg_mut(msg);
+        rec.src = src;
+        rec.dst = dst;
+        rec.tag = tag;
+        rec.bytes = bytes;
+        rec.eager = eager;
+        rec.posted_ns = Some(t_ns);
+    }
+
+    fn msg_event(&mut self, msg: u64, ev: MsgEvent, t_ns: u64) {
+        let rec = self.msg_mut(msg);
+        match ev {
+            MsgEvent::RtsArrived => rec.rts_arrived_ns = Some(t_ns),
+            MsgEvent::CtsLaunch => rec.cts_launch_ns = Some(t_ns),
+            MsgEvent::CtsArrived => rec.cts_arrived_ns = Some(t_ns),
+            MsgEvent::DataLaunch => rec.data_launch_ns = Some(t_ns),
+            MsgEvent::Drained => rec.drained_ns = Some(t_ns),
+            MsgEvent::Delivered => rec.delivered_ns = Some(t_ns),
+            MsgEvent::Matched {
+                posted_ns,
+                unexpected,
+            } => {
+                rec.matched_ns = Some(t_ns);
+                rec.recv_posted_ns = posted_ns;
+                rec.unexpected = unexpected;
+            }
+            MsgEvent::RecvReady => rec.recv_ready_ns = Some(t_ns),
+        }
+    }
+
+    fn flow_start(&mut self, slot: u32, rec: FlowStart) {
+        let idx = self.data.flows.len() as u32;
+        self.data.flows.push(FlowRec {
+            class: rec.class,
+            msg: rec.msg,
+            rank: rec.rank,
+            token: rec.token,
+            bytes: rec.bytes,
+            links: rec.links,
+            launch_ns: rec.t_ns,
+            drained_ns: None,
+            delivered_ns: None,
+        });
+        let s = slot as usize;
+        if self.slot_flows.len() <= s {
+            self.slot_flows.resize(s + 1, u32::MAX);
+        }
+        self.slot_flows[s] = idx;
+    }
+
+    fn flow_drained(&mut self, slot: u32, t_ns: u64) {
+        if let Some(f) = self.slot_flow_mut(slot) {
+            f.drained_ns = Some(t_ns);
+        }
+    }
+
+    fn flow_delivered(&mut self, slot: u32, t_ns: u64) {
+        if let Some(f) = self.slot_flow_mut(slot) {
+            if f.drained_ns.is_none() {
+                // Zero-byte control flows skip the drain step.
+                f.drained_ns = Some(t_ns);
+            }
+            f.delivered_ns = Some(t_ns);
+        }
+    }
+
+    fn dispatch(&mut self, rank: u32, begin_ns: u64, end_ns: u64, trigger: Trigger) {
+        self.data.dispatches.push(DispatchSpan {
+            rank,
+            begin_ns,
+            end_ns,
+            trigger,
+        });
+    }
+
+    fn protocol(&mut self, rank: u32, begin_ns: u64, end_ns: u64, kind: ProtoKind, msg: u64) {
+        self.data.protocols.push(ProtoSpan {
+            rank,
+            begin_ns,
+            end_ns,
+            kind,
+            msg,
+        });
+    }
+
+    fn compute(&mut self, rank: u32, token: u64, begin_ns: u64, end_ns: u64, gpu: bool) {
+        self.data.computes.push(ComputeRec {
+            rank,
+            token,
+            begin_ns,
+            end_ns,
+            gpu,
+        });
+    }
+
+    fn phase(&mut self, rank: u32, phase: u32, begin: bool, t_ns: u64) {
+        self.data.phases.push(PhaseRec {
+            rank,
+            phase,
+            begin,
+            t_ns,
+        });
+    }
+
+    fn gauge(&mut self, t_ns: u64, metric: GaugeMetric, index: u32, value: f64) {
+        self.data.gauges.push(GaugeRec {
+            t_ns,
+            metric,
+            index,
+            value,
+        });
+    }
+
+    fn finish(&mut self, per_rank_finish_ns: &[u64]) -> Option<ObsData> {
+        self.data.per_rank_finish_ns = per_rank_finish_ns.to_vec();
+        Some(std::mem::take(&mut self.data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_returns_nothing() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        assert!(r.metrics_interval().is_none());
+        r.dispatch(0, 0, 10, Trigger::Start);
+        assert!(r.finish(&[10]).is_none());
+    }
+
+    #[test]
+    fn mem_recorder_accumulates_msg_lifetime() {
+        let mut r = MemRecorder::new();
+        assert!(r.enabled());
+        r.msg_posted(0, 1, 2, 7, 4096, true, 100);
+        r.msg_event(
+            0,
+            MsgEvent::Matched {
+                posted_ns: Some(50),
+                unexpected: false,
+            },
+            400,
+        );
+        r.msg_event(0, MsgEvent::RecvReady, 400);
+        let data = r.finish(&[500, 600]).unwrap();
+        assert_eq!(data.msgs.len(), 1);
+        let m = &data.msgs[0];
+        assert_eq!((m.src, m.dst, m.bytes), (1, 2, 4096));
+        assert_eq!(m.recv_posted_ns, Some(50));
+        assert_eq!(m.recv_ready_ns, Some(400));
+        assert!(!m.unexpected);
+        assert_eq!(data.makespan_ns(), 600);
+    }
+
+    #[test]
+    fn slot_reuse_tracks_the_latest_flow() {
+        let mut r = MemRecorder::new();
+        let start = |t| FlowStart {
+            class: FlowClass::Eager,
+            msg: Some(0),
+            rank: 0,
+            token: 0,
+            bytes: 8,
+            links: vec![1],
+            t_ns: t,
+        };
+        r.flow_start(3, start(10));
+        r.flow_drained(3, 20);
+        r.flow_delivered(3, 25);
+        r.flow_start(3, start(30)); // slot reused
+        r.flow_delivered(3, 45);
+        let data = r.finish(&[50]).unwrap();
+        assert_eq!(data.flows.len(), 2);
+        assert_eq!(data.flows[0].delivered_ns, Some(25));
+        assert_eq!(data.flows[1].delivered_ns, Some(45));
+        // Zero-drain flows backfill drained at delivery.
+        assert_eq!(data.flows[1].drained_ns, Some(45));
+    }
+}

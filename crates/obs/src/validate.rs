@@ -1,0 +1,552 @@
+//! Self-contained validation of the exported artifacts, used by the
+//! test suite and the `obs-validate` binary (and CI).
+//!
+//! Ships its own minimal recursive-descent JSON parser so the check is
+//! a real parse, not a regex, while keeping the crate dependency-free.
+//! [`validate_chrome`] then checks trace semantics: the document shape,
+//! that every complete (`"X"`) span on a track nests or tiles without
+//! partial overlap, and that async `"b"`/`"e"` events pair up.
+
+use std::collections::HashMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("json parse error at byte {}: {}", self.pos, what))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, val: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .or_else(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar (at most 4 bytes —
+                    // never re-validate the whole remaining input).
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return self.err("invalid utf-8 in string"),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| {
+                            format!("json parse error at byte {}: invalid utf-8", self.pos)
+                        })?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document. The whole input must be one value (trailing
+/// whitespace allowed).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after document");
+    }
+    Ok(v)
+}
+
+/// What [`validate_chrome`] found in a well-formed trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Complete (`"X"`) spans.
+    pub complete_spans: usize,
+    /// Paired async (`"b"`/`"e"`) spans.
+    pub async_spans: usize,
+    /// Counter (`"C"`) samples.
+    pub counters: usize,
+    /// Tracks (distinct `(pid, tid)` pairs carrying `"X"` spans).
+    pub tracks: usize,
+}
+
+/// Nanoseconds from a trace timestamp in microseconds (exact: the
+/// exporter always emits three decimals).
+fn ev_ns(v: &Json, key: &str) -> Result<u64, String> {
+    let n = v
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("event missing numeric '{key}'"))?;
+    if n < 0.0 {
+        return Err(format!("negative '{key}'"));
+    }
+    Ok((n * 1000.0).round() as u64)
+}
+
+/// Parse and semantically validate a Chrome trace-event document.
+///
+/// Checks, beyond the parse itself:
+/// * top level is an object with a `traceEvents` array of objects, each
+///   carrying string `ph` and `name` and a numeric `pid`;
+/// * `"X"` spans have `ts`/`dur`, and on every `(pid, tid)` track any
+///   two spans either nest or are disjoint — partial overlap on a
+///   serial track means broken instrumentation;
+/// * every async `"b"` has a matching `"e"` (same `cat` + `id`) at an
+///   equal-or-later timestamp, with no `"e"` left unmatched.
+pub fn validate_chrome(text: &str) -> Result<ChromeSummary, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("top level must be an object with a traceEvents array")?;
+
+    let mut summary = ChromeSummary {
+        events: events.len(),
+        ..ChromeSummary::default()
+    };
+    // (pid, tid) -> [(begin_ns, end_ns)]
+    let mut tracks: HashMap<(u64, u64), Vec<(u64, u64)>> = HashMap::new();
+    // (cat, id) -> stack of open 'b' timestamps
+    let mut open_async: HashMap<(String, String), Vec<u64>> = HashMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let at = |what: &str| format!("traceEvents[{i}]: {what}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing string 'ph'"))?;
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing string 'name'"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| at("missing numeric 'pid'"))? as u64;
+        match ph {
+            "X" => {
+                let tid = ev
+                    .get("tid")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| at("X event missing 'tid'"))? as u64;
+                let ts = ev_ns(ev, "ts").map_err(|e| at(&e))?;
+                let dur = ev_ns(ev, "dur").map_err(|e| at(&e))?;
+                tracks.entry((pid, tid)).or_default().push((ts, ts + dur));
+                summary.complete_spans += 1;
+            }
+            "b" | "e" | "n" => {
+                let cat = ev
+                    .get("cat")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("async event missing 'cat'"))?
+                    .to_string();
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| at("async event missing 'id'"))?
+                    .to_string();
+                let ts = ev_ns(ev, "ts").map_err(|e| at(&e))?;
+                match ph {
+                    "b" => open_async.entry((cat, id)).or_default().push(ts),
+                    "e" => {
+                        let begin = open_async
+                            .get_mut(&(cat.clone(), id.clone()))
+                            .and_then(Vec::pop)
+                            .ok_or_else(|| {
+                                at(&format!("'e' for {cat}/{id} without an open 'b'"))
+                            })?;
+                        if ts < begin {
+                            return Err(at(&format!(
+                                "async span {cat}/{id} ends before it begins"
+                            )));
+                        }
+                        summary.async_spans += 1;
+                    }
+                    // Instant inside an async span: must land inside one.
+                    _ => {
+                        if open_async
+                            .get(&(cat.clone(), id.clone()))
+                            .is_none_or(|stack| stack.is_empty())
+                        {
+                            return Err(at(&format!("'n' for {cat}/{id} outside an open span")));
+                        }
+                    }
+                }
+            }
+            "C" => {
+                ev_ns(ev, "ts").map_err(|e| at(&e))?;
+                summary.counters += 1;
+            }
+            "M" => {}
+            other => return Err(at(&format!("unsupported event phase '{other}'"))),
+        }
+    }
+
+    for ((cat, id), stack) in &open_async {
+        if !stack.is_empty() {
+            return Err(format!(
+                "async span {cat}/{id} has {} unclosed 'b'",
+                stack.len()
+            ));
+        }
+    }
+
+    // Nesting discipline per serial track: sort by (start asc, end desc)
+    // so a parent precedes the spans it contains, then sweep a
+    // containment stack. A span overlapping the stack top without being
+    // contained by it is a partial overlap.
+    summary.tracks = tracks.len();
+    for ((pid, tid), mut spans) in tracks {
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut stack: Vec<(u64, u64)> = Vec::new();
+        for (b, e) in spans {
+            while let Some(&(_, pe)) = stack.last() {
+                if pe <= b {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(_, pe)) = stack.last() {
+                if e > pe {
+                    return Err(format!(
+                        "track pid={pid} tid={tid}: span [{b},{e}) partially overlaps [.., {pe})"
+                    ));
+                }
+            }
+            stack.push((b, e));
+        }
+    }
+
+    Ok(summary)
+}
+
+/// Validate the metrics CSV: header row plus `time_ns,metric,index,value`
+/// records with numeric fields and non-decreasing timestamps. Returns the
+/// number of data rows.
+pub fn validate_metrics_csv(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty metrics file")?;
+    if header != crate::metrics::CSV_HEADER {
+        return Err(format!("bad header: {header:?}"));
+    }
+    let mut rows = 0usize;
+    let mut last_t = 0u64;
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "row {}: expected 4 fields, got {}",
+                i + 1,
+                fields.len()
+            ));
+        }
+        let t: u64 = fields[0]
+            .parse()
+            .map_err(|_| format!("row {}: bad time_ns {:?}", i + 1, fields[0]))?;
+        if t < last_t {
+            return Err(format!("row {}: time goes backwards", i + 1));
+        }
+        last_t = t;
+        if fields[1].is_empty() {
+            return Err(format!("row {}: empty metric name", i + 1));
+        }
+        fields[2]
+            .parse::<u32>()
+            .map_err(|_| format!("row {}: bad index {:?}", i + 1, fields[2]))?;
+        fields[3]
+            .parse::<f64>()
+            .map_err(|_| format!("row {}: bad value {:?}", i + 1, fields[3]))?;
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\ny","c":null,"d":true}"#).unwrap();
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[2].as_num(),
+            Some(-300.0)
+        );
+        assert_eq!(doc.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(doc.get("c"), Some(&Json::Null));
+        assert_eq!(doc.get("d"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\"}").is_err());
+    }
+
+    #[test]
+    fn accepts_nested_and_tiled_spans() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":1,"tid":0,"ts":0.000,"dur":10.000},
+            {"name":"b","ph":"X","pid":1,"tid":0,"ts":2.000,"dur":3.000},
+            {"name":"c","ph":"X","pid":1,"tid":0,"ts":5.000,"dur":5.000},
+            {"name":"d","ph":"X","pid":1,"tid":0,"ts":10.000,"dur":1.000}
+        ]}"#;
+        let s = validate_chrome(doc).unwrap();
+        assert_eq!(s.complete_spans, 4);
+        assert_eq!(s.tracks, 1);
+    }
+
+    #[test]
+    fn rejects_partial_overlap() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":1,"tid":0,"ts":0.000,"dur":10.000},
+            {"name":"b","ph":"X","pid":1,"tid":0,"ts":5.000,"dur":10.000}
+        ]}"#;
+        assert!(validate_chrome(doc)
+            .unwrap_err()
+            .contains("partially overlaps"));
+    }
+
+    #[test]
+    fn rejects_unpaired_async() {
+        let doc = r#"{"traceEvents":[
+            {"name":"m","cat":"msg","ph":"b","pid":1,"tid":0,"id":"m0","ts":0.000}
+        ]}"#;
+        assert!(validate_chrome(doc).unwrap_err().contains("unclosed"));
+        let doc = r#"{"traceEvents":[
+            {"name":"m","cat":"msg","ph":"e","pid":1,"tid":0,"id":"m0","ts":0.000}
+        ]}"#;
+        assert!(validate_chrome(doc)
+            .unwrap_err()
+            .contains("without an open"));
+    }
+
+    #[test]
+    fn metrics_csv_checks_shape() {
+        assert_eq!(
+            validate_metrics_csv("time_ns,metric,index,value\n0,posted_depth,0,3\n").unwrap(),
+            1
+        );
+        assert!(validate_metrics_csv("nope\n").is_err());
+        assert!(validate_metrics_csv("time_ns,metric,index,value\n5,x,0,1\n2,x,0,1\n").is_err());
+        assert!(validate_metrics_csv("time_ns,metric,index,value\n0,x,0\n").is_err());
+    }
+}

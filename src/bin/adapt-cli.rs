@@ -6,7 +6,10 @@
 //! adapt-sim --op allreduce --nodes 4 --msg 1048576
 //! ```
 
-use adapt::collectives::{run_once_scoped, CollectiveCase, Library, NoiseScope, OpKind};
+use adapt::collectives::{
+    run_once_scoped, world_for_case, CollectiveCase, Library, NoiseScope, OpKind,
+};
+use adapt::obs::{chrome_trace, critical_path, metrics_csv, MemRecorder};
 use adapt::prelude::*;
 
 fn arg(args: &[String], key: &str) -> Option<String> {
@@ -19,6 +22,65 @@ fn flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == &format!("--{key}"))
 }
 
+/// Observability flags: where to write the Chrome trace and metrics CSV,
+/// and whether to print the critical path.
+struct ObsArgs {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    critical: bool,
+    interval_ns: u64,
+}
+
+impl ObsArgs {
+    fn parse(args: &[String]) -> ObsArgs {
+        ObsArgs {
+            trace_out: arg(args, "trace-out"),
+            metrics_out: arg(args, "metrics-out"),
+            critical: flag(args, "critical-path"),
+            interval_ns: arg(args, "metrics-interval")
+                .map(|s| s.parse().expect("metrics-interval"))
+                .unwrap_or(10_000),
+        }
+    }
+
+    fn wanted(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.critical
+    }
+
+    /// The recorder this invocation asked for. Gauge sampling only runs
+    /// when a metrics file was requested.
+    fn recorder(&self) -> MemRecorder {
+        if self.metrics_out.is_some() {
+            MemRecorder::with_metrics(self.interval_ns)
+        } else {
+            MemRecorder::new()
+        }
+    }
+
+    /// Write/print whatever was requested from a recorded run.
+    fn emit(&self, res: &adapt::mpi::RunResult) {
+        let obs = res
+            .obs
+            .as_ref()
+            .expect("recorded run carries observability data");
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, chrome_trace(obs)).expect("write trace");
+            println!(
+                "  trace: {} spans over {} msgs -> {path}",
+                obs.dispatches.len() + obs.protocols.len(),
+                obs.msgs.len()
+            );
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, metrics_csv(obs)).expect("write metrics");
+            println!("  metrics: {} samples -> {path}", obs.gauges.len());
+        }
+        if self.critical {
+            print!("{}", critical_path(obs).render());
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if flag(&args, "help") || args.is_empty() {
@@ -26,7 +88,9 @@ fn main() {
             "usage: adapt-cli [--machine cori|stampede2|psg|mini] [--nodes N] \
              [--op bcast|reduce|allreduce|allgather|alltoall|scan|scatter|gather|barrier] \
              [--lib adapt|default|default-topo|intel|cray|mvapich] \
-             [--msg BYTES] [--noise PCT] [--seed S] [--gpu] [--trace FILE.csv] [--describe]"
+             [--msg BYTES] [--noise PCT] [--seed S] [--gpu] [--trace FILE.csv] [--describe] \
+             [--trace-out FILE.json] [--metrics-out FILE.csv] [--metrics-interval NS] \
+             [--critical-path]"
         );
         return;
     }
@@ -146,23 +210,21 @@ fn main() {
             } else {
                 ClusterNoise::silent(nranks)
             };
-            let world = World::cpu(machine, nranks, noise_model);
+            let obs = ObsArgs::parse(&args);
+            let mut world = World::cpu(machine, nranks, noise_model);
+            if obs.wanted() {
+                world = world.with_recorder(Box::new(obs.recorder()));
+            }
             let res = world.run(programs);
             println!(
                 "{op} (ADAPT) on {nranks} ranks, {msg} bytes: {:.1} us",
                 res.makespan.as_micros_f64()
             );
-            println!(
-                "  events={} messages={} unexpected={}",
-                res.stats.events, res.stats.messages, res.stats.unexpected_matches
-            );
-            println!(
-                "  match_probes={} ({:.2}/event) share_recomputes={}",
-                res.stats.match_probes,
-                res.stats.match_probes as f64 / res.stats.events.max(1) as f64,
-                res.stats.net_share_recomputes
-            );
+            print!("{}", res.stats);
             println!("  {}", res.audit);
+            if obs.wanted() {
+                obs.emit(&res);
+            }
             return;
         }
         _ => {}
@@ -205,20 +267,49 @@ fn main() {
         println!("  {}", res.audit);
         return;
     }
+    let obs = ObsArgs::parse(&args);
+    if obs.wanted() {
+        // Recorded run: same world and programs as run_once_scoped, with a
+        // recorder attached. Results are identical either way — recording
+        // never perturbs the simulation.
+        let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
+        let res = world.with_recorder(Box::new(obs.recorder())).run(programs);
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        println!(
+            "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",
+            library.label(),
+            res.makespan.as_micros_f64()
+        );
+        print!("{}", res.stats);
+        println!("  audit: clean (invariants asserted by the runner)");
+        obs.emit(&res);
+        return;
+    }
     let (us, stats) = run_once_scoped(&case, NoiseScope::PerNode, noise, seed);
     println!(
         "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {us:.1} us",
         library.label()
     );
-    println!(
-        "  events={} messages={} rendezvous={} unexpected={}",
-        stats.events, stats.messages, stats.rendezvous, stats.unexpected_matches
-    );
-    println!(
-        "  match_probes={} ({:.2}/event) share_recomputes={}",
-        stats.match_probes,
-        stats.match_probes as f64 / stats.events.max(1) as f64,
-        stats.net_share_recomputes
-    );
+    print!("{stats}");
     println!("  audit: clean (invariants asserted by the runner)");
+}
+
+#[cfg(test)]
+mod tests {
+    use adapt::mpi::WorldStats;
+
+    /// Satellite guarantee: the CLI's stats block is generated from the
+    /// struct itself, so every counter — present and future — appears.
+    #[test]
+    fn stats_display_covers_every_field() {
+        let stats = WorldStats::default();
+        let shown = format!("{stats}");
+        for name in WorldStats::FIELD_NAMES {
+            assert!(
+                shown.contains(name),
+                "WorldStats Display is missing field {name:?}:\n{shown}"
+            );
+        }
+        assert_eq!(shown.lines().count(), WorldStats::FIELD_NAMES.len());
+    }
 }

@@ -45,6 +45,7 @@
 //! | [`topology`] | hwloc-like hardware model and machine profiles |
 //! | [`net`] | flow-level max-min fair network |
 //! | [`mpi`] | simulated MPI runtime (matching, protocols, progress engine) |
+//! | [`obs`] | cross-layer tracing, time-series metrics, critical-path analysis |
 //! | [`core`] | **the ADAPT framework** (event-driven bcast/reduce, trees) |
 //! | [`collectives`] | baselines: blocking, Waitall, hierarchical, composite |
 //! | [`noise`] | system-noise injection |
@@ -62,6 +63,9 @@ pub use adapt_net as net;
 
 /// Simulated MPI runtime.
 pub use adapt_mpi as mpi;
+
+/// Cross-layer observability: tracing, metrics, critical-path analysis.
+pub use adapt_obs as obs;
 
 /// The ADAPT event-driven collective framework (the paper's contribution).
 pub use adapt_core as core;

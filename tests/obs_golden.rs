@@ -1,0 +1,126 @@
+//! Observability determinism and acceptance tests.
+//!
+//! The recorder rides on the deterministic simulation clock, so its
+//! exports must be bit-reproducible: two identical runs produce
+//! byte-identical Chrome traces and metrics CSVs. And recording must be
+//! free of observer effects: a run's results (per-rank completion times,
+//! counters) are identical with recording on or off, quiet or noisy.
+
+use adapt::collectives::{world_for_case, CollectiveCase, Library, NoiseScope, OpKind};
+use adapt::obs::{
+    chrome_trace, critical_path, metrics_csv, validate_chrome, validate_metrics_csv, Layer,
+    MemRecorder,
+};
+use adapt::prelude::*;
+
+/// The acceptance scenario: quick-scale fig8 broadcast — 128 ranks on a
+/// 4-node Cori slice, OMPI-adapt, 1 MiB.
+fn fig8_case() -> CollectiveCase {
+    CollectiveCase {
+        machine: profiles::cori(4),
+        nranks: 128,
+        op: OpKind::Bcast,
+        library: Library::OmpiAdapt,
+        msg_bytes: 1 << 20,
+    }
+}
+
+fn run(noise: f64, seed: u64, record: bool) -> adapt::mpi::RunResult {
+    let case = fig8_case();
+    let (mut world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
+    if record {
+        world = world.with_recorder(Box::new(MemRecorder::with_metrics(10_000)));
+    }
+    let res = world.run(programs);
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    res
+}
+
+#[test]
+fn exports_are_byte_identical_across_runs() {
+    let a = run(0.0, 1, true);
+    let b = run(0.0, 1, true);
+    let (oa, ob) = (a.obs.as_ref().unwrap(), b.obs.as_ref().unwrap());
+    let (ja, jb) = (chrome_trace(oa), chrome_trace(ob));
+    assert_eq!(ja, jb, "Chrome trace must be bit-reproducible");
+    let (ca, cb) = (metrics_csv(oa), metrics_csv(ob));
+    assert_eq!(ca, cb, "metrics CSV must be bit-reproducible");
+
+    // And both exports are well-formed by the repo's own validator.
+    let summary = validate_chrome(&ja).expect("trace must validate");
+    assert!(summary.complete_spans > 0, "expected dispatch spans");
+    assert!(summary.async_spans > 0, "expected message/flow spans");
+    assert!(summary.counters > 0, "expected gauge counters");
+    let rows = validate_metrics_csv(&ca).expect("metrics must validate");
+    assert!(rows > 0, "expected gauge samples");
+}
+
+#[test]
+fn recording_is_free_and_critical_path_tiles_the_makespan() {
+    for (noise, seed) in [(0.0, 1), (10.0, 42)] {
+        let off = run(noise, seed, false);
+        let res = run(noise, seed, true);
+        // Observer-effect freedom: results identical with recording on.
+        assert_eq!(
+            off.per_rank_finish, res.per_rank_finish,
+            "per-rank completion times moved with recording on \
+             (noise={noise}, seed={seed})"
+        );
+        assert_eq!(off.makespan, res.makespan);
+        assert_eq!(format!("{}", off.stats), format!("{}", res.stats));
+        assert!(off.obs.is_none() && res.obs.is_some());
+
+        let obs = res.obs.as_ref().unwrap();
+        let cp = critical_path(obs);
+        assert_eq!(
+            cp.makespan_ns,
+            res.makespan.as_nanos(),
+            "critical path must start from the run's makespan"
+        );
+        assert_eq!(
+            cp.total_ns(),
+            cp.makespan_ns,
+            "chain segments must sum exactly to the makespan"
+        );
+        // Gap-free chronological tiling of [0, makespan].
+        let mut cursor = 0;
+        for seg in &cp.segments {
+            assert_eq!(seg.begin_ns, cursor, "segment chain has a gap/overlap");
+            assert!(seg.end_ns >= seg.begin_ns);
+            cursor = seg.end_ns;
+        }
+        assert_eq!(cursor, cp.makespan_ns);
+        // A broadcast's path crosses the network and runs real callbacks.
+        let totals = cp.layer_totals();
+        let sum_of = |l: Layer| totals.iter().find(|(k, _)| *k == l).map_or(0, |(_, v)| *v);
+        assert!(sum_of(Layer::Network) > 0, "path never crossed a link");
+        assert!(sum_of(Layer::Callback) > 0, "path never ran a callback");
+        // The report renders without panicking and names the makespan.
+        let text = cp.render();
+        assert!(text.contains(&format!("{:.3} us", cp.makespan_ns as f64 / 1000.0)));
+    }
+}
+
+#[test]
+fn phase_spans_nest_and_cover_hierarchical_runs() {
+    // A hierarchical (phased) library emits phase begin/end marks; the
+    // trace still validates, and every begin has a matching end.
+    let case = CollectiveCase {
+        machine: profiles::minicluster(2, 2, 4),
+        nranks: 16,
+        op: OpKind::Bcast,
+        library: Library::IntelMpi,
+        msg_bytes: 256 << 10,
+    };
+    let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+    let res = world
+        .with_recorder(Box::new(MemRecorder::new()))
+        .run(programs);
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    let obs = res.obs.as_ref().unwrap();
+    let begins = obs.phases.iter().filter(|p| p.begin).count();
+    let ends = obs.phases.iter().filter(|p| !p.begin).count();
+    assert!(begins > 0, "hierarchical run recorded no phase marks");
+    assert_eq!(begins, ends, "unbalanced phase begin/end marks");
+    validate_chrome(&chrome_trace(obs)).expect("phased trace must validate");
+}
