@@ -13,6 +13,8 @@
 //! | `flow_churn` | fair-share refresh on a congested link under flow churn |
 //! | `fig8_quick_bcast` | end-to-end 256-rank broadcast sweep (quick fig8) |
 //! | `fig8_quick_bcast_256_traced` | the same sweep with observability recording on |
+//! | `fig8_quick_bcast_inert_faults` | the sweep with an inert fault plan — the reliability layer's zero-overhead guard |
+//! | `fig8_quick_bcast_lossy1pct` | the sweep at 1% per-hop loss through the reliability layer |
 //!
 //! `cargo run --release -p adapt-bench --bin perf` writes the results to
 //! `BENCH_PR2.json`; pass `--baseline old.json` to fold a previous run in
@@ -21,6 +23,7 @@
 
 use crate::{CpuMachine, Scale, FIG89_SIZES};
 use adapt_collectives::{run_once, world_for_case, CollectiveCase, Library, NoiseScope, OpKind};
+use adapt_faults::FaultPlan;
 use adapt_mpi::{Completion, Op, Payload, ProgramCtx, RankProgram, Token, World, WorldStats};
 use adapt_net::{FlowId, FlowScheduler, FlowSpec, Link, LinkClass, LinkId, NetStep, Network, Path};
 use adapt_noise::ClusterNoise;
@@ -386,6 +389,93 @@ pub fn bench_fig8_quick_traced(scale: Scale) -> PerfResult {
     result("fig8_quick_bcast_256_traced", wall_ms, stats_sum)
 }
 
+/// Zero-overhead guard for the reliability layer: the same fig8 sweep
+/// with an **inert** fault plan attached. `World::with_faults` must
+/// refuse to arm anything for an inert plan, so every counter is
+/// asserted bit-identical to an unfaulted run and the recorded wall
+/// clock should sit on top of `fig8_quick_bcast_256`'s.
+pub fn bench_fig8_inert_faults(scale: Scale) -> PerfResult {
+    let sizes: &[u64] = match scale {
+        Scale::Quick => &FIG89_SIZES,
+        Scale::Full => &FIG89_SIZES,
+    };
+    let spec = profiles::cori(8);
+    let nranks = 256;
+    let mk_case = |msg_bytes| CollectiveCase {
+        machine: spec.clone(),
+        nranks,
+        op: OpKind::Bcast,
+        library: Library::OmpiAdapt,
+        msg_bytes,
+    };
+    // The bit-identical guarantee, checked once outside the timed loop so
+    // the recorded wall clock measures only the inert-faulted run and
+    // compares directly against `fig8_quick_bcast_256`.
+    for &msg_bytes in sizes {
+        let case = mk_case(msg_bytes);
+        let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+        let plan = FaultPlan::lossy(1, 0.0);
+        assert!(plan.is_inert());
+        let res = world.with_faults(plan).run(programs);
+        let (plain_world, plain_programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+        let plain = plain_world.run(plain_programs);
+        assert_eq!(
+            res.stats, plain.stats,
+            "an inert fault plan must leave every counter bit-identical"
+        );
+        assert_eq!(res.per_rank_finish, plain.per_rank_finish);
+    }
+    let (wall_ms, stats_sum) = time_median(1, 3, || {
+        let mut sum = WorldStats::default();
+        for &msg_bytes in sizes {
+            let case = mk_case(msg_bytes);
+            let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+            let res = world.with_faults(FaultPlan::lossy(1, 0.0)).run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            sum.events += res.stats.events;
+            sum.match_probes += res.stats.match_probes;
+            sum.net_share_recomputes += res.stats.net_share_recomputes;
+        }
+        sum
+    });
+    result("fig8_quick_bcast_inert_faults", wall_ms, stats_sum)
+}
+
+/// The reliability layer under fire: the fig8 sweep at 1% per-hop loss.
+/// Measures the simulation cost of drops, retransmission timers, acks,
+/// and duplicate suppression on the end-to-end hot path; asserts the
+/// recovery actually happened (retransmits > 0, audit clean).
+pub fn bench_fig8_lossy(scale: Scale) -> PerfResult {
+    let sizes: &[u64] = match scale {
+        Scale::Quick => &FIG89_SIZES,
+        Scale::Full => &FIG89_SIZES,
+    };
+    let spec = profiles::cori(8);
+    let nranks = 256;
+    let (wall_ms, stats_sum) = time_median(1, 3, || {
+        let mut sum = WorldStats::default();
+        for &msg_bytes in sizes {
+            let case = CollectiveCase {
+                machine: spec.clone(),
+                nranks,
+                op: OpKind::Bcast,
+                library: Library::OmpiAdapt,
+                msg_bytes,
+            };
+            let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+            let plan = FaultPlan::lossy(1, 0.01).with_rto(SimDuration::from_micros(80));
+            let res = world.with_faults(plan).run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            assert!(res.stats.retransmits > 0, "1% loss must exercise recovery");
+            sum.events += res.stats.events;
+            sum.match_probes += res.stats.match_probes;
+            sum.net_share_recomputes += res.stats.net_share_recomputes;
+        }
+        sum
+    });
+    result("fig8_quick_bcast_lossy1pct", wall_ms, stats_sum)
+}
+
 fn result(name: &'static str, wall_ms: f64, stats: WorldStats) -> PerfResult {
     PerfResult {
         name,
@@ -406,6 +496,8 @@ pub fn run_suite(scale: Scale, machine: CpuMachine) -> Vec<PerfResult> {
         bench_flow_churn(scale),
         bench_fig8_quick(scale),
         bench_fig8_quick_traced(scale),
+        bench_fig8_inert_faults(scale),
+        bench_fig8_lossy(scale),
     ]
 }
 
@@ -454,7 +546,7 @@ pub fn parse_baseline(text: &str) -> Vec<(String, Baseline)> {
 pub fn to_json(scale: Scale, results: &[PerfResult], baselines: &[(String, Baseline)]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"pr\": 3,\n");
+    s.push_str("  \"pr\": 4,\n");
     s.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         match scale {

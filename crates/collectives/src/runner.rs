@@ -25,7 +25,7 @@ use adapt_core::{
     topology_aware_tree, AdaptConfig, BcastSpec, ReduceData, ReduceExec, ReduceSpec,
     TopoTreeConfig, Tree, TreeKind,
 };
-use adapt_mpi::{RankProgram, World, WorldStats};
+use adapt_mpi::{FaultPlan, RankProgram, RunResult, World, WorldStats};
 use adapt_noise::{ClusterNoise, NoiseSpec};
 use adapt_sim::audit::AuditReport;
 use adapt_sim::rng::{MasterSeed, StreamTag};
@@ -556,6 +556,33 @@ pub fn run_once_scoped(
         res.audit
     );
     (res.makespan.as_micros_f64(), res.stats)
+}
+
+/// Run one iteration with a fault plan attached: lossy links, down and
+/// degradation windows, rank stalls — with the reliability layer
+/// recovering every injected loss. Returns the full [`RunResult`] so
+/// callers can inspect recovery counters (`retransmits`, `acks`,
+/// `duplicates_suppressed`) and per-rank completion times; the audit is
+/// asserted clean, which under faults means *delivered exactly once
+/// despite every drop*.
+pub fn run_once_faulted(
+    case: &CollectiveCase,
+    scope: NoiseScope,
+    noise_percent: f64,
+    seed: u64,
+    plan: FaultPlan,
+) -> RunResult {
+    let (world, programs) = world_for_case(case, scope, noise_percent, seed);
+    let res = world.with_faults(plan).run(programs);
+    assert!(
+        res.audit.is_clean(),
+        "{} {:?} {}B (faulted): {}",
+        case.library.label(),
+        case.op,
+        case.msg_bytes,
+        res.audit
+    );
+    res
 }
 
 /// Run a full trial: `repeats` independent worlds, each timing

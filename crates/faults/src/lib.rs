@@ -1,0 +1,26 @@
+//! Deterministic fault injection: schedules, plans, and reliability knobs.
+//!
+//! This crate is the shared vocabulary between the noise model, the network
+//! fault injector, and the MPI reliability layer:
+//!
+//! - [`Schedule`] — an ordered list of `[start, end)` time windows with the
+//!   defer/finish-work arithmetic that both OS-noise preemption and
+//!   injected rank stalls need. `adapt-noise` builds its lazily generated
+//!   window stream on top of it; fault plans use it for link outages and
+//!   stall windows.
+//! - [`FaultPlan`] — one run's complete fault schedule: per-hop loss
+//!   probability, link down windows, bandwidth/latency degradation
+//!   windows, and per-rank stalls, plus the [`RelConfig`] retransmission
+//!   knobs. Parsed from the CLI `--faults` mini-grammar by
+//!   [`FaultPlan::parse`].
+//!
+//! Everything here is plain data: the crate holds no RNG state. The world
+//! derives its fault stream from `MasterSeed(plan.seed)` with
+//! `StreamTag::Faults`, so two runs with the same plan and seed are
+//! bit-identical.
+
+pub mod plan;
+pub mod schedule;
+
+pub use plan::{parse_duration, Degrade, FaultPlan, RelConfig};
+pub use schedule::Schedule;

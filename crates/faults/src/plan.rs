@@ -1,0 +1,321 @@
+//! Fault plans: one run's complete, deterministic fault schedule.
+
+use crate::schedule::Schedule;
+use adapt_sim::time::{Duration, Time};
+
+/// Retransmission knobs for the reliability layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RelConfig {
+    /// Base retransmission timeout, added on top of twice the estimated
+    /// transfer time (the estimate stands in for an RTT measurement).
+    pub rto: Duration,
+    /// The timeout doubles per attempt; this caps how many retransmissions
+    /// a single transfer may consume before the run aborts.
+    pub max_retries: u32,
+    /// Deterministic jitter drawn uniformly from `[0, jitter_frac ×
+    /// backoff)` and added to each timeout, desynchronizing retransmit
+    /// storms.
+    pub jitter_frac: f64,
+}
+
+impl Default for RelConfig {
+    fn default() -> RelConfig {
+        RelConfig {
+            rto: Duration::from_micros(100),
+            max_retries: 16,
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+/// One bandwidth/latency degradation window, applied to every link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Degrade {
+    /// Capacity multiplier inside the window (e.g. `0.1` = 10% bandwidth).
+    pub cap_factor: f64,
+    /// Latency multiplier inside the window (e.g. `4.0` = 4× latency).
+    pub lat_factor: f64,
+    /// The `[start, end)` window.
+    pub window: (Time, Time),
+}
+
+/// A complete fault schedule for one run.
+///
+/// The plan is pure data; the world derives the loss/jitter RNG stream
+/// from `MasterSeed(seed)` with `StreamTag::Faults`, so the same plan and
+/// seed reproduce the same drops bit-for-bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG stream (loss draws, retransmit jitter).
+    pub seed: u64,
+    /// Per-hop loss probability in `[0, 1)`; a flow crossing `n` links is
+    /// lost with probability `1 − (1 − loss)^n`.
+    pub loss: f64,
+    /// Windows during which every link is down: transfers launched inside
+    /// a window are lost (and recovered by retransmission).
+    pub down: Schedule,
+    /// Bandwidth/latency degradation windows.
+    pub degrade: Vec<Degrade>,
+    /// Injected rank stalls: `(rank, [start, end))` freezes well beyond
+    /// the OS-noise model.
+    pub stalls: Vec<(u32, (Time, Time))>,
+    /// Retransmission configuration.
+    pub rel: RelConfig,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 1,
+            loss: 0.0,
+            down: Schedule::empty(),
+            degrade: Vec::new(),
+            stalls: Vec::new(),
+            rel: RelConfig::default(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects uniform per-hop loss and nothing else.
+    pub fn lossy(seed: u64, loss: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            loss,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Add a rank stall window.
+    pub fn with_stall(mut self, rank: u32, start: Time, end: Time) -> FaultPlan {
+        self.stalls.push((rank, (start, end)));
+        self
+    }
+
+    /// Add an all-links down window.
+    pub fn with_down(mut self, start: Time, end: Time) -> FaultPlan {
+        let mut w: Vec<(Time, Time)> = self.down.windows().to_vec();
+        w.push((start, end));
+        self.down = Schedule::new(w);
+        self
+    }
+
+    /// Add a degradation window over every link.
+    pub fn with_degrade(
+        mut self,
+        cap_factor: f64,
+        lat_factor: f64,
+        start: Time,
+        end: Time,
+    ) -> FaultPlan {
+        self.degrade.push(Degrade {
+            cap_factor,
+            lat_factor,
+            window: (start, end),
+        });
+        self
+    }
+
+    /// Override the base retransmission timeout.
+    pub fn with_rto(mut self, rto: Duration) -> FaultPlan {
+        self.rel.rto = rto;
+        self
+    }
+
+    /// True when the plan injects nothing: no loss, no outages, no
+    /// degradation, no stalls. The world treats an inert plan exactly like
+    /// no plan at all, so the fault-free fast path stays untouched.
+    pub fn is_inert(&self) -> bool {
+        self.loss <= 0.0
+            && self.down.is_empty()
+            && self.degrade.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// The stall schedule for one rank (windows normalized/merged).
+    pub fn stalls_for(&self, rank: u32) -> Schedule {
+        Schedule::new(
+            self.stalls
+                .iter()
+                .filter(|&&(r, _)| r == rank)
+                .map(|&(_, w)| w)
+                .collect(),
+        )
+    }
+
+    /// Parse the CLI `--faults` mini-grammar: comma-separated `key=value`
+    /// terms.
+    ///
+    /// ```text
+    /// loss=0.02                    per-hop loss probability
+    /// rto=500us                    base retransmission timeout
+    /// retries=8                    retry budget per transfer
+    /// jitter=0.2                   backoff jitter fraction
+    /// stall=3:10ms-20ms            freeze rank 3 over [10ms, 20ms)
+    /// down=1ms-2ms                 all links down over [1ms, 2ms)
+    /// degrade=0.1:5ms-8ms          all links at 10% bandwidth over [5ms, 8ms)
+    /// ```
+    ///
+    /// Durations accept `ns`, `us`, `ms`, and `s` suffixes (bare numbers
+    /// are nanoseconds).
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        for term in spec.split(',').filter(|t| !t.trim().is_empty()) {
+            let (key, value) = term
+                .split_once('=')
+                .ok_or_else(|| format!("fault term {term:?} is not key=value"))?;
+            match key.trim() {
+                "loss" => {
+                    let p: f64 = value.parse().map_err(|_| format!("bad loss {value:?}"))?;
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(format!("loss {p} out of [0, 1)"));
+                    }
+                    plan.loss = p;
+                }
+                "rto" => plan.rel.rto = parse_duration(value)?,
+                "retries" => {
+                    plan.rel.max_retries = value
+                        .parse()
+                        .map_err(|_| format!("bad retries {value:?}"))?;
+                }
+                "jitter" => {
+                    plan.rel.jitter_frac =
+                        value.parse().map_err(|_| format!("bad jitter {value:?}"))?;
+                }
+                "stall" => {
+                    let (rank, window) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("stall {value:?} is not RANK:START-END"))?;
+                    let rank: u32 = rank.parse().map_err(|_| format!("bad rank {rank:?}"))?;
+                    let (s, e) = parse_window(window)?;
+                    plan.stalls.push((rank, (s, e)));
+                }
+                "down" => {
+                    let (s, e) = parse_window(value)?;
+                    plan = plan.with_down(s, e);
+                }
+                "degrade" => {
+                    let (factor, window) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("degrade {value:?} is not FACTOR:START-END"))?;
+                    let f: f64 = factor
+                        .parse()
+                        .map_err(|_| format!("bad degrade factor {factor:?}"))?;
+                    if !f.is_finite() || f <= 0.0 {
+                        return Err(format!("degrade factor {f} must be positive"));
+                    }
+                    let (s, e) = parse_window(window)?;
+                    plan.degrade.push(Degrade {
+                        cap_factor: f,
+                        lat_factor: 1.0,
+                        window: (s, e),
+                    });
+                }
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Parse a duration with an optional `ns`/`us`/`ms`/`s` suffix.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (digits, mult) = if let Some(d) = s.strip_suffix("ns") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration {s:?}"))?;
+    Ok(Duration::from_nanos(n.saturating_mul(mult)))
+}
+
+fn parse_window(s: &str) -> Result<(Time, Time), String> {
+    let (a, b) = s
+        .split_once('-')
+        .ok_or_else(|| format!("window {s:?} is not START-END"))?;
+    let start = Time::ZERO + parse_duration(a)?;
+    let end = Time::ZERO + parse_duration(b)?;
+    if end <= start {
+        return Err(format!("window {s:?} is empty or inverted"));
+    }
+    Ok((start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(FaultPlan::default().is_inert());
+        assert!(!FaultPlan::lossy(1, 0.01).is_inert());
+        assert!(!FaultPlan::default()
+            .with_stall(0, Time(0), Time(10))
+            .is_inert());
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let p = FaultPlan::parse(
+            "loss=0.02,rto=500us,retries=8,jitter=0.2,stall=3:10ms-20ms,down=1ms-2ms,degrade=0.1:5ms-8ms",
+            7,
+        )
+        .unwrap();
+        assert_eq!(p.seed, 7);
+        assert!((p.loss - 0.02).abs() < 1e-12);
+        assert_eq!(p.rel.rto, Duration::from_micros(500));
+        assert_eq!(p.rel.max_retries, 8);
+        assert!((p.rel.jitter_frac - 0.2).abs() < 1e-12);
+        assert_eq!(p.stalls, vec![(3, (Time(10_000_000), Time(20_000_000)))]);
+        assert_eq!(p.down.windows(), &[(Time(1_000_000), Time(2_000_000))]);
+        assert_eq!(p.degrade.len(), 1);
+        assert!((p.degrade[0].cap_factor - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_terms() {
+        assert!(FaultPlan::parse("loss=1.5", 1).is_err());
+        assert!(FaultPlan::parse("bogus=1", 1).is_err());
+        assert!(FaultPlan::parse("stall=zz", 1).is_err());
+        assert!(FaultPlan::parse("down=5ms-1ms", 1).is_err());
+        assert!(FaultPlan::parse("loss", 1).is_err());
+        assert!(FaultPlan::parse("degrade=0:1ms-2ms", 1).is_err());
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        assert_eq!(parse_duration("10").unwrap(), Duration::from_nanos(10));
+        assert_eq!(parse_duration("10ns").unwrap(), Duration::from_nanos(10));
+        assert_eq!(parse_duration("3us").unwrap(), Duration::from_micros(3));
+        assert_eq!(parse_duration("2ms").unwrap(), Duration::from_millis(2));
+        assert_eq!(
+            parse_duration("1s").unwrap(),
+            Duration::from_nanos(1_000_000_000)
+        );
+        assert!(parse_duration("1.5ms").is_err());
+    }
+
+    #[test]
+    fn stalls_for_merges_per_rank() {
+        let p = FaultPlan::default()
+            .with_stall(2, Time(10), Time(30))
+            .with_stall(2, Time(20), Time(40))
+            .with_stall(5, Time(0), Time(5));
+        assert_eq!(p.stalls_for(2).windows(), &[(Time(10), Time(40))]);
+        assert_eq!(p.stalls_for(5).windows(), &[(Time(0), Time(5))]);
+        assert!(p.stalls_for(0).is_empty());
+    }
+}

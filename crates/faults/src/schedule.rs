@@ -1,0 +1,236 @@
+//! Ordered time-window schedules and the defer/finish-work arithmetic.
+
+use adapt_sim::time::{Duration, Time};
+
+/// An ordered list of half-open `[start, end)` windows during which some
+/// resource (a CPU, a link) is unavailable.
+///
+/// Two construction paths with different guarantees:
+///
+/// - [`Schedule::new`] normalizes arbitrary input — sorts by start, drops
+///   empty windows, and merges overlapping or touching ones. Use this for
+///   fault plans written by hand or parsed from the CLI.
+/// - [`Schedule::push_back`] appends verbatim and requires monotonically
+///   non-decreasing starts. Use this for lazily generated streams (the
+///   noise model) where the exact window list must be preserved
+///   bit-for-bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    windows: Vec<(Time, Time)>,
+}
+
+impl Schedule {
+    /// The empty schedule: nothing is ever blocked.
+    pub fn empty() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Normalize arbitrary windows: sort by start, drop empty (`end <=
+    /// start`) windows, merge overlapping or adjacent ones.
+    pub fn new(mut windows: Vec<(Time, Time)>) -> Schedule {
+        windows.retain(|&(s, e)| e > s);
+        windows.sort_by_key(|&(s, e)| (s, e));
+        let mut merged: Vec<(Time, Time)> = Vec::with_capacity(windows.len());
+        for (s, e) in windows {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        Schedule { windows: merged }
+    }
+
+    /// Append a window without normalization. Starts must be
+    /// non-decreasing; the window is kept verbatim (even zero-duration) so
+    /// generated streams iterate exactly as they were produced.
+    pub fn push_back(&mut self, start: Time, end: Time) {
+        debug_assert!(
+            self.windows
+                .last()
+                .map(|&(s, _)| s <= start)
+                .unwrap_or(true),
+            "push_back requires non-decreasing starts"
+        );
+        self.windows.push((start, end));
+    }
+
+    /// The raw window list, in order.
+    pub fn windows(&self) -> &[(Time, Time)] {
+        &self.windows
+    }
+
+    /// True when no windows exist.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The last generated window, if any (lazy generators peek at this).
+    pub fn last(&self) -> Option<(Time, Time)> {
+        self.windows.last().copied()
+    }
+
+    /// True when `t` falls inside a window.
+    pub fn active_at(&self, t: Time) -> bool {
+        self.windows.iter().any(|&(s, e)| s <= t && t < e)
+    }
+
+    /// Earliest instant at or after `t` that is outside every window.
+    pub fn defer(&self, t: Time) -> Time {
+        for &(s, e) in &self.windows {
+            if t < s {
+                return t;
+            }
+            if t < e {
+                return e;
+            }
+        }
+        t
+    }
+
+    /// The first window that ends after `cur` (it may already contain
+    /// `cur`, or lie entirely in the future).
+    pub fn next_blocking(&self, cur: Time) -> Option<(Time, Time)> {
+        self.windows
+            .iter()
+            .find(|&&(s, e)| s > cur || e > cur)
+            .copied()
+    }
+
+    /// The start of the first window beginning at or after `t`.
+    pub fn next_start_at_or_after(&self, t: Time) -> Option<Time> {
+        self.windows.iter().map(|&(s, _)| s).find(|&s| s >= t)
+    }
+
+    /// Completion time of `work` busy time starting at `start`, pausing
+    /// during windows and resuming after each. Mirrors the noise model's
+    /// preemption arithmetic over a static window list.
+    pub fn finish_work(&self, start: Time, work: Duration) -> Time {
+        let mut cur = self.defer(start);
+        let mut left = work;
+        loop {
+            if left.is_zero() {
+                return cur;
+            }
+            match self.next_blocking(cur) {
+                Some((s, e)) if s <= cur => {
+                    // Inside a window (possible when called directly).
+                    cur = e;
+                }
+                Some((s, e)) if s < cur + left => {
+                    let done = s.saturating_since(cur);
+                    left = Duration::from_nanos(left.as_nanos() - done.as_nanos());
+                    cur = e;
+                }
+                _ => return cur + left,
+            }
+        }
+    }
+
+    /// Total blocked time in `[0, until)`.
+    pub fn stolen_until(&self, until: Time) -> Duration {
+        let mut total = Duration::ZERO;
+        for &(s, e) in &self.windows {
+            if s >= until {
+                break;
+            }
+            total += e.min(until).saturating_since(s);
+        }
+        total
+    }
+
+    /// Busy time available in `[start, deadline)`: the elapsed span minus
+    /// the window time inside it.
+    pub fn work_in(&self, start: Time, deadline: Time) -> Duration {
+        let span = deadline.saturating_since(start);
+        let blocked_ns = self
+            .stolen_until(deadline)
+            .as_nanos()
+            .saturating_sub(self.stolen_until(start).as_nanos());
+        Duration::from_nanos(span.as_nanos().saturating_sub(blocked_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    #[test]
+    fn new_sorts_merges_and_drops_empty() {
+        let s = Schedule::new(vec![
+            (t(50), t(60)),
+            (t(10), t(20)),
+            (t(15), t(30)), // overlaps the second
+            (t(30), t(40)), // touches the merged block
+            (t(70), t(70)), // empty, dropped
+            (t(80), t(75)), // inverted, dropped
+        ]);
+        assert_eq!(s.windows(), &[(t(10), t(40)), (t(50), t(60))]);
+    }
+
+    #[test]
+    fn defer_and_active() {
+        let s = Schedule::new(vec![(t(100), t(200))]);
+        assert_eq!(s.defer(t(50)), t(50));
+        assert_eq!(s.defer(t(100)), t(200));
+        assert_eq!(s.defer(t(150)), t(200));
+        assert_eq!(s.defer(t(200)), t(200));
+        assert!(s.active_at(t(100)));
+        assert!(s.active_at(t(199)));
+        assert!(!s.active_at(t(200)));
+        assert!(!s.active_at(t(99)));
+        assert!(Schedule::empty().defer(t(7)) == t(7));
+    }
+
+    #[test]
+    fn finish_work_pauses_inside_windows() {
+        let s = Schedule::new(vec![(t(100), t(200)), (t(300), t(310))]);
+        // 150 ns of work from t=0: 100 before the first window, pause,
+        // 50 more after it.
+        assert_eq!(s.finish_work(t(0), Duration::from_nanos(150)), t(250));
+        // Work spanning both windows: 100 before, 100 between, 50 after.
+        assert_eq!(s.finish_work(t(0), Duration::from_nanos(250)), t(360));
+        // Starting inside a window defers first.
+        assert_eq!(s.finish_work(t(150), Duration::from_nanos(10)), t(210));
+        // Zero work returns the deferred start.
+        assert_eq!(s.finish_work(t(150), Duration::ZERO), t(200));
+    }
+
+    #[test]
+    fn stolen_and_work_in_clamp_at_boundaries() {
+        let s = Schedule::new(vec![(t(100), t(200)), (t(300), t(400))]);
+        assert_eq!(s.stolen_until(t(50)), Duration::ZERO);
+        assert_eq!(s.stolen_until(t(150)), Duration::from_nanos(50));
+        assert_eq!(s.stolen_until(t(250)), Duration::from_nanos(100));
+        assert_eq!(s.stolen_until(t(1000)), Duration::from_nanos(200));
+        // work_in over [150, 350): 50 blocked by each window's tail/head.
+        assert_eq!(s.work_in(t(150), t(350)), Duration::from_nanos(100));
+        assert_eq!(s.work_in(t(0), t(100)), Duration::from_nanos(100));
+        assert_eq!(s.work_in(t(100), t(200)), Duration::ZERO);
+    }
+
+    #[test]
+    fn next_start_and_next_blocking() {
+        let s = Schedule::new(vec![(t(100), t(200)), (t(300), t(400))]);
+        assert_eq!(s.next_start_at_or_after(t(0)), Some(t(100)));
+        assert_eq!(s.next_start_at_or_after(t(100)), Some(t(100)));
+        assert_eq!(s.next_start_at_or_after(t(101)), Some(t(300)));
+        assert_eq!(s.next_start_at_or_after(t(500)), None);
+        assert_eq!(s.next_blocking(t(150)), Some((t(100), t(200))));
+        assert_eq!(s.next_blocking(t(200)), Some((t(300), t(400))));
+        assert_eq!(s.next_blocking(t(400)), None);
+    }
+
+    #[test]
+    fn push_back_preserves_verbatim_windows() {
+        let mut s = Schedule::empty();
+        s.push_back(t(10), t(10)); // zero-duration kept
+        s.push_back(t(10), t(20));
+        s.push_back(t(30), t(35));
+        assert_eq!(s.windows().len(), 3);
+        assert_eq!(s.last(), Some((t(30), t(35))));
+    }
+}

@@ -25,6 +25,7 @@
 use crate::matching::{PostedQueue, PostedRecv, UnexpQueue};
 use crate::payload::Payload;
 use crate::program::{Completion, Op, ProgramCtx, RankProgram, Tag, Token};
+use adapt_faults::{FaultPlan, Schedule};
 use adapt_net::{Fabric, FlowId, FlowScheduler, FlowSpec, NetStep, Network, Path};
 use adapt_noise::ClusterNoise;
 use adapt_obs::{
@@ -32,10 +33,13 @@ use adapt_obs::{
     Trigger,
 };
 use adapt_sim::audit::{AuditReport, RankAudit};
-use adapt_sim::fxhash::FxHashMap;
+use adapt_sim::fxhash::{FxHashMap, FxHashSet};
 use adapt_sim::queue::{EventKey, EventQueue};
+use adapt_sim::rng::{MasterSeed, StreamTag};
 use adapt_sim::time::{Duration, Time};
 use adapt_topology::{MachineSpec, MemSpace, Placement, Rank};
+use rand::rngs::SmallRng;
+use rand::Rng;
 
 /// Fixed CPU cost of handling any completion in the progress engine.
 const PROGRESS_OVERHEAD: Duration = Duration(50);
@@ -69,6 +73,33 @@ enum FlowKind {
         token: Token,
         bytes: u64,
     },
+    /// Reliability-layer acknowledgement for transfer lane `key`
+    /// (zero-byte, receiver host to sender host, lossy but untracked —
+    /// a lost ack is recovered by the sender's retransmit timer).
+    Ack {
+        key: XferKey,
+        from: Rank,
+    },
+}
+
+/// Key of one reliable transfer lane: `msg * 4 + lane`, where the lane
+/// distinguishes the protocol steps that each need their own ack (a
+/// message never uses both the eager and rendezvous data lanes).
+type XferKey = u64;
+
+const LANE_RTS: u64 = 0;
+const LANE_CTS: u64 = 1;
+const LANE_DATA: u64 = 2;
+
+/// The retransmit lane a flow kind travels on (`None` for local copies
+/// and acks themselves, which the reliability layer does not track).
+fn xfer_key(kind: FlowKind) -> Option<XferKey> {
+    match kind {
+        FlowKind::Rts(m) => Some(m * 4 + LANE_RTS),
+        FlowKind::Cts(m) => Some(m * 4 + LANE_CTS),
+        FlowKind::EagerData(m) | FlowKind::RndvData(m) => Some(m * 4 + LANE_DATA),
+        FlowKind::Copy { .. } | FlowKind::Ack { .. } => None,
+    }
 }
 
 /// Sentinel for "no causing message" in [`RankItem::Deliver`].
@@ -103,6 +134,18 @@ enum Ev {
         path: Path,
         bytes: u64,
     },
+    /// Retransmit timer for a reliable transfer lane (tracked so the ack
+    /// can cancel it).
+    Timer {
+        key: XferKey,
+    },
+    /// A degradation-window boundary: rescale one link's capacity and
+    /// latency relative to its pristine baseline.
+    FaultCmd {
+        link: u32,
+        cap: f64,
+        lat: f64,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -130,6 +173,96 @@ struct ByteAudit {
     recv_completed: u64,
     copy_posted: u64,
     copy_completed: u64,
+}
+
+/// One in-flight reliable transfer: everything needed to relaunch it
+/// when its retransmit timer fires.
+#[derive(Debug)]
+struct Xfer {
+    kind: FlowKind,
+    path: Path,
+    bytes: u64,
+    /// The rank the transfer is attributed to in traces (the sender
+    /// side of the lane). Kept here because a late retransmit can
+    /// outlive the message record it belongs to.
+    owner: Rank,
+    /// Retransmissions performed so far (0 = first attempt in flight).
+    attempt: u32,
+    /// The pending retransmit timer (cancelled by the ack).
+    timer: EventKey,
+}
+
+/// Runtime state of the fault-injection and reliability layer. Boxed
+/// behind an `Option` in [`World`]: a fault-free run carries a single
+/// `None` and executes exactly the code it did before this layer existed.
+struct FaultState {
+    plan: FaultPlan,
+    /// Loss draws and backoff jitter, seeded from the plan via
+    /// [`StreamTag::Faults`] so fault randomness never perturbs noise or
+    /// workload streams.
+    rng: SmallRng,
+    /// Sender-side: un-acked transfers by lane key.
+    xfers: FxHashMap<XferKey, Xfer>,
+    /// Receiver-side duplicate suppression: lanes already processed once,
+    /// with the ack return route and acking rank for re-acking
+    /// retransmitted duplicates.
+    seen: FxHashMap<XferKey, (Rank, Path)>,
+    /// Sender messages whose payload drain already fired SendDone
+    /// (retransmit drains must not fire it again).
+    done_fired: FxHashSet<MsgId>,
+    /// Per-rank stall schedules (`None` = rank never stalls, delegating
+    /// straight to the noise model).
+    stalls: Vec<Option<Schedule>>,
+    /// Payload bytes injected by retransmissions (audit ledger column).
+    retrans_bytes: u64,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, nranks: u32) -> FaultState {
+        let rng = MasterSeed(plan.seed).rng(StreamTag::Faults, 0);
+        let stalls = (0..nranks)
+            .map(|r| {
+                let s = plan.stalls_for(r);
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(s)
+                }
+            })
+            .collect();
+        FaultState {
+            plan,
+            rng,
+            xfers: FxHashMap::default(),
+            seen: FxHashMap::default(),
+            done_fired: FxHashSet::default(),
+            stalls,
+            retrans_bytes: 0,
+        }
+    }
+}
+
+/// Why a run stopped making progress: returned by [`World::try_run`]
+/// instead of hanging (or panicking without context). Carries a full
+/// per-rank report of what each unfinished rank was blocked on.
+#[derive(Debug)]
+pub struct StallDiagnosis {
+    /// Simulated instant at which the stall was detected.
+    pub at: Time,
+    /// Ranks that had not finished.
+    pub stuck: Vec<Rank>,
+    /// `true` when the progress watchdog horizon fired; `false` when the
+    /// event queue ran dry with unfinished ranks (classic deadlock).
+    pub watchdog_fired: bool,
+    /// Human-readable report (starts with `deadlock:`); also what
+    /// [`std::fmt::Display`] prints.
+    pub detail: String,
+}
+
+impl std::fmt::Display for StallDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
 }
 
 /// One recorded runtime event (tracing enabled via
@@ -253,6 +386,20 @@ world_stats! {
     /// Network-engine diagnostics: full path-minimum share recomputations
     /// performed while refreshing flows after a perturbation.
     net_share_recomputes,
+    /// Flows lost to injected faults (loss draws and link-down windows).
+    drops_injected,
+    /// Reliability-layer retransmissions launched after an RTO expiry.
+    retransmits,
+    /// Acknowledgements that reached a sender and retired its timer.
+    acks,
+    /// Duplicate deliveries suppressed (and re-acked) at receivers.
+    duplicates_suppressed,
+    /// Nanoseconds of exponential backoff + jitter added beyond the base
+    /// RTO across all retransmissions.
+    backoff_time,
+    /// Events addressed to already-finished ranks and dropped. The audit
+    /// flags these in fault-free runs.
+    stray_events,
 }
 
 /// Outcome of a completed simulation.
@@ -356,6 +503,13 @@ pub struct World {
     async_progress: bool,
     /// Recorded events (empty unless tracing is enabled).
     trace: Option<Vec<TraceEvent>>,
+    /// Fault-injection and reliability layer (`None` = pristine network,
+    /// zero-cost transport exactly as before the layer existed).
+    faults: Option<Box<FaultState>>,
+    /// Progress-watchdog horizon: a gap of simulated time between
+    /// consecutive events larger than this, while ranks are unfinished,
+    /// aborts the run with a [`StallDiagnosis`].
+    watchdog: Option<Duration>,
     /// Observability recorder (a no-op [`NullRecorder`] by default).
     obs: Box<dyn Recorder>,
     /// Cached `obs.enabled()` — every probe site branches on this flag
@@ -391,9 +545,31 @@ impl World {
             max_events: 2_000_000_000,
             async_progress: false,
             trace: None,
+            faults: None,
+            watchdog: None,
             obs: Box::new(NullRecorder),
             obs_on: false,
         }
+    }
+
+    /// Attach a fault plan: lossy links, down/degradation windows, rank
+    /// stalls — with the ack/retransmit reliability layer that recovers
+    /// from them. An [inert](FaultPlan::is_inert) plan attaches nothing,
+    /// so `--faults` with zero rates is bit-identical to no flag at all.
+    pub fn with_faults(mut self, plan: FaultPlan) -> World {
+        if !plan.is_inert() {
+            let nranks = self.nranks();
+            self.faults = Some(Box::new(FaultState::new(plan, nranks)));
+        }
+        self
+    }
+
+    /// Abort (with a per-rank [`StallDiagnosis`]) instead of hanging when
+    /// no event fires for `horizon` of simulated time while ranks are
+    /// still unfinished.
+    pub fn with_watchdog(mut self, horizon: Duration) -> World {
+        self.watchdog = Some(horizon);
+        self
     }
 
     /// Attach an observability recorder (see [`adapt_obs`]): structured
@@ -455,8 +631,22 @@ impl World {
     /// Run the given per-rank programs to completion (every rank must
     /// eventually call `finish`). Panics on deadlock — a queue that runs
     /// dry with unfinished ranks indicates a broken algorithm, which tests
-    /// want loudly.
-    pub fn run(mut self, programs: Vec<Box<dyn RankProgram>>) -> RunResult {
+    /// want loudly. Use [`World::try_run`] to get the diagnosis as a
+    /// value instead.
+    pub fn run(self, programs: Vec<Box<dyn RankProgram>>) -> RunResult {
+        match self.try_run(programs) {
+            Ok(r) => r,
+            Err(d) => panic!("{d}"),
+        }
+    }
+
+    /// Like [`World::run`], but a stalled run (dry queue with unfinished
+    /// ranks, or a watchdog-horizon expiry) returns a [`StallDiagnosis`]
+    /// instead of panicking.
+    pub fn try_run(
+        mut self,
+        programs: Vec<Box<dyn RankProgram>>,
+    ) -> Result<RunResult, Box<StallDiagnosis>> {
         assert_eq!(
             programs.len(),
             self.nranks() as usize,
@@ -471,6 +661,33 @@ impl World {
                     item: RankItem::Start,
                 },
             );
+        }
+
+        if let Some(fs) = &self.faults {
+            // Degradation windows become boundary events: scale every
+            // link's capacity/latency at the window start, restore the
+            // pristine baseline at the end.
+            let nlinks = self.net.links().len() as u32;
+            for d in &fs.plan.degrade {
+                for link in 0..nlinks {
+                    self.queue.schedule_untracked(
+                        d.window.0,
+                        Ev::FaultCmd {
+                            link,
+                            cap: d.cap_factor,
+                            lat: d.lat_factor,
+                        },
+                    );
+                    self.queue.schedule_untracked(
+                        d.window.1,
+                        Ev::FaultCmd {
+                            link,
+                            cap: 1.0,
+                            lat: 1.0,
+                        },
+                    );
+                }
+            }
         }
 
         if self.obs_on {
@@ -488,6 +705,7 @@ impl World {
             0
         };
         let mut next_sample = 0u64;
+        let mut prev_t = Time::ZERO;
 
         while let Some((t, ev)) = self.queue.pop() {
             if sample_iv > 0 {
@@ -498,6 +716,12 @@ impl World {
                     next_sample += sample_iv;
                 }
             }
+            if let Some(h) = self.watchdog {
+                if self.finished < self.nranks() && t.saturating_since(prev_t) > h {
+                    return Err(Box::new(self.stall_diagnosis(prev_t, t, true)));
+                }
+            }
+            prev_t = t;
             self.stats.events += 1;
             assert!(
                 self.stats.events <= self.max_events,
@@ -506,121 +730,23 @@ impl World {
             match ev {
                 Ev::Net(flow) => self.on_net_event(t, flow),
                 Ev::Rank { rank, item } => self.rank_step(t, rank, item),
-                Ev::Launch { kind, path, bytes } => {
-                    let links: Vec<u32> = if self.obs_on {
-                        path.as_slice().iter().map(|l| l.0).collect()
-                    } else {
-                        Vec::new()
-                    };
+                Ev::Launch { kind, path, bytes } => self.launch_flow(t, kind, path, bytes),
+                Ev::Timer { key } => self.on_timer(t, key),
+                Ev::FaultCmd { link, cap, lat } => {
                     let mut sched = QueueSched(&mut self.queue);
-                    let flow = self.net.start_flow(
-                        t,
-                        FlowSpec {
-                            path,
-                            bytes,
-                            tag: 0,
-                        },
-                        &mut sched,
-                    );
-                    let slot = flow.0 as usize;
-                    if slot >= self.flow_kinds.len() {
-                        self.flow_kinds.resize_with(slot + 1, || None);
-                    }
-                    self.flow_kinds[slot] = Some(kind);
-                    if self.obs_on {
-                        let (class, msg, frank, token) = match kind {
-                            FlowKind::Rts(m) => (FlowClass::Rts, Some(m), self.msgs[&m].src, 0),
-                            FlowKind::Cts(m) => (FlowClass::Cts, Some(m), self.msgs[&m].dst, 0),
-                            FlowKind::EagerData(m) => {
-                                (FlowClass::Eager, Some(m), self.msgs[&m].src, 0)
-                            }
-                            FlowKind::RndvData(m) => {
-                                (FlowClass::Rndv, Some(m), self.msgs[&m].src, 0)
-                            }
-                            FlowKind::Copy { rank, token, .. } => {
-                                (FlowClass::Copy, None, rank, token.0)
-                            }
-                        };
-                        match kind {
-                            FlowKind::Cts(m) => {
-                                self.obs.msg_event(m, MsgEvent::CtsLaunch, t.as_nanos())
-                            }
-                            FlowKind::RndvData(m) => {
-                                self.obs.msg_event(m, MsgEvent::DataLaunch, t.as_nanos())
-                            }
-                            _ => {}
-                        }
-                        self.obs.flow_start(
-                            flow.0 as u32,
-                            FlowStart {
-                                class,
-                                msg,
-                                rank: frank,
-                                token,
-                                bytes,
-                                links,
-                                t_ns: t.as_nanos(),
-                            },
-                        );
-                    }
+                    self.net.scale_link(t, link, cap, lat, &mut sched);
                 }
             }
-            if self.finished == self.nranks() {
+            if self.finished == self.nranks() && self.faults.is_none() {
+                // With faults active the queue drains fully instead:
+                // in-flight retransmissions, acks, and timers must
+                // resolve so the audit sees a settled network.
                 break;
             }
         }
 
         if self.finished != self.nranks() {
-            let stuck: Vec<u32> = (0..self.nranks())
-                .filter(|&r| self.ranks[r as usize].finished_at.is_none())
-                .collect();
-            let mut sample: Vec<String> = self
-                .msgs
-                .iter()
-                .take(8)
-                .map(|(id, m)| {
-                    format!(
-                        "msg{id}: {}->{} tag={} bytes={} recv_token={:?}",
-                        m.src,
-                        m.dst,
-                        m.tag,
-                        m.payload.len(),
-                        m.recv_token
-                    )
-                })
-                .collect();
-            sample.sort();
-            for &r in stuck.iter().take(4) {
-                let st = &self.ranks[r as usize];
-                eprintln!(
-                    "rank {r}: busy_until={:?} posted={:?} unexp_rts_tags={:?}",
-                    st.busy_until,
-                    st.posted.entries(),
-                    st.unexp_rts
-                        .ids()
-                        .iter()
-                        .map(|m| (self.msgs[m].src, self.msgs[m].tag))
-                        .collect::<Vec<_>>(),
-                );
-            }
-            panic!(
-                "deadlock: {} of {} ranks never finished (e.g. ranks {:?}); \
-                 posted={}, unexpected_eager={}, unexpected_rts={}, in-flight msgs={}, \
-                 net flows={}, flow_kinds={}, sample msgs:\n  {}",
-                stuck.len(),
-                self.nranks(),
-                &stuck[..stuck.len().min(8)],
-                self.ranks.iter().map(|r| r.posted.len()).sum::<usize>(),
-                self.ranks
-                    .iter()
-                    .map(|r| r.unexp_eager.len())
-                    .sum::<usize>(),
-                self.ranks.iter().map(|r| r.unexp_rts.len()).sum::<usize>(),
-                self.msgs.len(),
-                self.net.active_flows(),
-                self.flow_kinds.iter().flatten().count(),
-                sample.join("\n  "),
-            );
+            return Err(Box::new(self.stall_diagnosis(prev_t, prev_t, false)));
         }
 
         let per_rank_finish: Vec<Time> = self
@@ -651,7 +777,7 @@ impl World {
         } else {
             None
         };
-        RunResult {
+        Ok(RunResult {
             makespan,
             per_rank_finish,
             per_rank_busy,
@@ -664,7 +790,320 @@ impl World {
                 .into_iter()
                 .map(|p| p.expect("program"))
                 .collect(),
+        })
+    }
+
+    /// Assemble the per-rank blocked-on report for a stalled run.
+    /// Build the per-rank deadlock report. `since` is the last time any
+    /// event fired (the silent gap the watchdog measured runs from
+    /// `since` to `at`); a rank counts as stalled if its fault schedule
+    /// covers any part of that gap.
+    fn stall_diagnosis(&self, since: Time, at: Time, watchdog_fired: bool) -> StallDiagnosis {
+        let stuck: Vec<u32> = (0..self.nranks())
+            .filter(|&r| self.ranks[r as usize].finished_at.is_none())
+            .collect();
+        let mut sample: Vec<String> = self
+            .msgs
+            .iter()
+            .take(8)
+            .map(|(id, m)| {
+                format!(
+                    "msg{id}: {}->{} tag={} bytes={} recv_token={:?}",
+                    m.src,
+                    m.dst,
+                    m.tag,
+                    m.payload.len(),
+                    m.recv_token
+                )
+            })
+            .collect();
+        sample.sort();
+        let mut detail = format!(
+            "deadlock: {} of {} ranks never finished (e.g. ranks {:?}) — {} at t={}ns; \
+             posted={}, unexpected_eager={}, unexpected_rts={}, in-flight msgs={}, \
+             net flows={}, flow_kinds={}, pending retransmit lanes={}",
+            stuck.len(),
+            self.nranks(),
+            &stuck[..stuck.len().min(8)],
+            if watchdog_fired {
+                "progress watchdog fired"
+            } else {
+                "event queue ran dry"
+            },
+            at.as_nanos(),
+            self.ranks.iter().map(|r| r.posted.len()).sum::<usize>(),
+            self.ranks
+                .iter()
+                .map(|r| r.unexp_eager.len())
+                .sum::<usize>(),
+            self.ranks.iter().map(|r| r.unexp_rts.len()).sum::<usize>(),
+            self.msgs.len(),
+            self.net.active_flows(),
+            self.flow_kinds.iter().flatten().count(),
+            self.faults.as_ref().map_or(0, |f| f.xfers.len()),
+        );
+        for &r in stuck.iter().take(8) {
+            let st = &self.ranks[r as usize];
+            let stall = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.stalls[r as usize].as_ref());
+            detail.push_str(&format!(
+                "\n  rank {r}: busy_until={:?} posted={:?} unexp_rts_tags={:?} stalled={}",
+                st.busy_until,
+                st.posted.entries(),
+                st.unexp_rts
+                    .ids()
+                    .iter()
+                    .map(|m| (self.msgs[m].src, self.msgs[m].tag))
+                    .collect::<Vec<_>>(),
+                stall.is_some_and(|s| {
+                    s.active_at(since) || s.next_start_at_or_after(since).is_some_and(|w| w <= at)
+                }),
+            ));
         }
+        if !sample.is_empty() {
+            detail.push_str("\n  sample msgs:\n    ");
+            detail.push_str(&sample.join("\n    "));
+        }
+        StallDiagnosis {
+            at,
+            stuck,
+            watchdog_fired,
+            detail,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and the reliability layer
+    // ------------------------------------------------------------------
+
+    /// Start the flow an `Ev::Launch` describes. With a fault plan
+    /// attached this is also where losses are injected (the launch draws
+    /// its fate from the fault RNG) and where reliable lanes arm their
+    /// retransmit timer.
+    fn launch_flow(&mut self, t: Time, kind: FlowKind, path: Path, bytes: u64) {
+        let links: Vec<u32> = if self.obs_on {
+            path.as_slice().iter().map(|l| l.0).collect()
+        } else {
+            Vec::new()
+        };
+        let mut doomed = false;
+        if let Some(fs) = self.faults.as_mut() {
+            // Local copies never traverse faulty links; empty paths are
+            // purely local too.
+            let lossable = !matches!(kind, FlowKind::Copy { .. }) && !path.is_empty();
+            if lossable {
+                if fs.plan.loss > 0.0 {
+                    // Per-hop independent loss: the flow survives only if
+                    // every link on the path keeps it.
+                    let p = 1.0 - (1.0 - fs.plan.loss).powi(path.len() as i32);
+                    doomed = fs.rng.random::<f64>() < p;
+                }
+                doomed |= fs.plan.down.active_at(t);
+            }
+        }
+        if doomed {
+            self.stats.drops_injected += 1;
+        }
+        let mut sched = QueueSched(&mut self.queue);
+        let flow = self.net.start_flow_doomed(
+            t,
+            FlowSpec {
+                path,
+                bytes,
+                tag: 0,
+            },
+            doomed,
+            &mut sched,
+        );
+        let slot = flow.0 as usize;
+        if slot >= self.flow_kinds.len() {
+            self.flow_kinds.resize_with(slot + 1, || None);
+        }
+        self.flow_kinds[slot] = Some(kind);
+        if self.obs_on {
+            let (class, msg, frank, token) = match kind {
+                FlowKind::Rts(m) => (FlowClass::Rts, Some(m), self.flow_sender(kind), 0),
+                FlowKind::Cts(m) => (FlowClass::Cts, Some(m), self.flow_sender(kind), 0),
+                FlowKind::EagerData(m) => (FlowClass::Eager, Some(m), self.flow_sender(kind), 0),
+                FlowKind::RndvData(m) => (FlowClass::Rndv, Some(m), self.flow_sender(kind), 0),
+                FlowKind::Copy { rank, token, .. } => (FlowClass::Copy, None, rank, token.0),
+                FlowKind::Ack { key, from } => (FlowClass::Ack, Some(key >> 2), from, 0),
+            };
+            match kind {
+                FlowKind::Cts(m) => self.obs.msg_event(m, MsgEvent::CtsLaunch, t.as_nanos()),
+                FlowKind::RndvData(m) => self.obs.msg_event(m, MsgEvent::DataLaunch, t.as_nanos()),
+                _ => {}
+            }
+            self.obs.flow_start(
+                flow.0 as u32,
+                FlowStart {
+                    class,
+                    msg,
+                    rank: frank,
+                    token,
+                    bytes,
+                    links,
+                    t_ns: t.as_nanos(),
+                },
+            );
+        }
+        if self.faults.is_some() {
+            if let Some(key) = xfer_key(kind) {
+                self.arm_timer(t, key, kind, path, bytes);
+            }
+        }
+    }
+
+    /// Arm (or re-arm) the retransmit timer for lane `key`. The deadline
+    /// is two current-contention transfer estimates (out and ack back)
+    /// plus the exponentially backed-off RTO with jitter.
+    fn arm_timer(&mut self, t: Time, key: XferKey, kind: FlowKind, path: Path, bytes: u64) {
+        let owner = self.flow_sender(kind);
+        let fs = self.faults.as_mut().expect("faults active");
+        let attempt = fs.xfers.get(&key).map_or(0, |x| x.attempt);
+        let rto_ns = fs.plan.rel.rto.as_nanos();
+        let backoff_ns = rto_ns.saturating_mul(1u64 << attempt.min(20));
+        let jmax = (backoff_ns as f64 * fs.plan.rel.jitter_frac) as u64;
+        let jitter = if jmax > 0 {
+            fs.rng.random_range(0..jmax)
+        } else {
+            0
+        };
+        if attempt >= 1 {
+            self.stats.backoff_time += backoff_ns.saturating_add(jitter) - rto_ns;
+        }
+        let est = self.net.estimate_transfer(&path, bytes);
+        let deadline = t + est + est + Duration::from_nanos(backoff_ns.saturating_add(jitter));
+        let timer = self.queue.schedule(deadline, Ev::Timer { key });
+        let fs = self.faults.as_mut().expect("faults active");
+        let x = fs.xfers.entry(key).or_insert(Xfer {
+            kind,
+            path,
+            bytes,
+            owner,
+            attempt: 0,
+            timer,
+        });
+        x.timer = timer;
+    }
+
+    /// The rank a protocol flow is attributed to in traces: the sender
+    /// of the transfer (the destination for a CTS, the source for
+    /// everything else). Falls back to the reliability lane's recorded
+    /// owner when the message has already completed — a retransmit whose
+    /// ack was lost can fire after the receive retired the message.
+    fn flow_sender(&self, kind: FlowKind) -> Rank {
+        let (m, is_cts) = match kind {
+            FlowKind::Cts(m) => (m, true),
+            FlowKind::Rts(m) | FlowKind::EagerData(m) | FlowKind::RndvData(m) => (m, false),
+            FlowKind::Copy { .. } | FlowKind::Ack { .. } => {
+                unreachable!("copies and acks are not reliability lanes")
+            }
+        };
+        if let Some(msg) = self.msgs.get(&m) {
+            return if is_cts { msg.dst } else { msg.src };
+        }
+        let key = xfer_key(kind).expect("protocol lanes always have a key");
+        self.faults
+            .as_ref()
+            .and_then(|f| f.xfers.get(&key))
+            .map(|x| x.owner)
+            .expect("a lane for a retired message is still tracked until acked")
+    }
+
+    /// A retransmit timer fired: if the lane is still un-acked, relaunch
+    /// it (which re-arms the timer with a doubled backoff).
+    fn on_timer(&mut self, t: Time, key: XferKey) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        let Some(x) = fs.xfers.get_mut(&key) else {
+            return; // acked while the timer was in flight
+        };
+        x.attempt += 1;
+        if x.attempt > fs.plan.rel.max_retries {
+            panic!(
+                "reliability: msg {} lane {} exhausted its retry budget \
+                 ({} retransmissions) — the fault schedule is not survivable",
+                key >> 2,
+                key & 3,
+                fs.plan.rel.max_retries
+            );
+        }
+        let (kind, path, bytes) = (x.kind, x.path, x.bytes);
+        fs.retrans_bytes += bytes;
+        self.stats.retransmits += 1;
+        if self.obs_on {
+            self.obs
+                .msg_event(key >> 2, MsgEvent::Retransmit, t.as_nanos());
+        }
+        self.launch_flow(t, kind, path, bytes);
+    }
+
+    /// Reliability handling for a delivered flow. Returns `true` when the
+    /// delivery was fully consumed here (an ack, or a duplicate of an
+    /// already-processed lane) and must not reach the protocol layer.
+    fn reliable_delivery(&mut self, t: Time, kind: FlowKind) -> bool {
+        if let FlowKind::Ack { key, .. } = kind {
+            let fs = self.faults.as_mut().expect("faults active");
+            if let Some(x) = fs.xfers.remove(&key) {
+                self.queue.cancel(x.timer);
+                self.stats.acks += 1;
+                if self.obs_on {
+                    self.obs.msg_event(key >> 2, MsgEvent::Acked, t.as_nanos());
+                }
+            }
+            return true;
+        }
+        let Some(key) = xfer_key(kind) else {
+            return false; // local copy: not a reliable lane
+        };
+        let fs = self.faults.as_mut().expect("faults active");
+        if let Some(&(from, back)) = fs.seen.get(&key) {
+            // Retransmitted duplicate: the lane was already processed
+            // (its message may be long gone) — just ack again.
+            self.stats.duplicates_suppressed += 1;
+            self.queue.schedule_untracked(
+                t,
+                Ev::Launch {
+                    kind: FlowKind::Ack { key, from },
+                    path: back,
+                    bytes: 0,
+                },
+            );
+            return true;
+        }
+        // First delivery of this lane: record it and send the ack over
+        // the host-to-host reverse route (CTS travels receiver→sender, so
+        // its ack flows sender→receiver).
+        let m = key >> 2;
+        let msg = &self.msgs[&m];
+        let from = if key & 3 == LANE_CTS {
+            msg.src
+        } else {
+            msg.dst
+        };
+        let to = if key & 3 == LANE_CTS {
+            msg.dst
+        } else {
+            msg.src
+        };
+        let back = self
+            .fabric
+            .route(self.placement.host_mem(from), self.placement.host_mem(to));
+        let fs = self.faults.as_mut().expect("faults active");
+        fs.seen.insert(key, (from, back));
+        self.queue.schedule_untracked(
+            t,
+            Ev::Launch {
+                kind: FlowKind::Ack { key, from },
+                path: back,
+                bytes: 0,
+            },
+        );
+        false
     }
 
     /// Assemble the end-of-run invariant report (see
@@ -679,6 +1118,10 @@ impl World {
             net_injected_bytes: self.net.injected_bytes(),
             net_delivered_bytes: self.net.delivered_bytes(),
             net_flows_in_flight: self.net.active_flows(),
+            net_dropped_bytes: self.net.dropped_bytes(),
+            retrans_injected_bytes: self.faults.as_ref().map_or(0, |f| f.retrans_bytes),
+            stray_events: self.stats.stray_events,
+            faults_active: self.faults.is_some(),
             per_rank: self.ranks.iter().map(|r| r.audit).collect(),
             unclaimed_messages: self.msgs.len() as u64,
             unexpected_leftovers: self
@@ -733,6 +1176,16 @@ impl World {
                 }
                 match self.flow_kinds[flow.0 as usize].expect("drain of unknown flow") {
                     FlowKind::EagerData(m) | FlowKind::RndvData(m) => {
+                        if let Some(fs) = self.faults.as_mut() {
+                            // SendDone fires at the *first* drain only —
+                            // the sender's buffer is reusable once the
+                            // reliability layer holds the payload, and a
+                            // retransmit drain may postdate the message's
+                            // removal from the in-flight table.
+                            if !fs.done_fired.insert(m) {
+                                return;
+                            }
+                        }
                         if self.obs_on {
                             self.obs.msg_event(m, MsgEvent::Drained, t.as_nanos());
                         }
@@ -750,7 +1203,7 @@ impl World {
                         );
                     }
                     FlowKind::Copy { .. } => {}
-                    FlowKind::Rts(_) | FlowKind::Cts(_) => {
+                    FlowKind::Rts(_) | FlowKind::Cts(_) | FlowKind::Ack { .. } => {
                         unreachable!("control flows are zero-byte and never drain")
                     }
                 }
@@ -759,6 +1212,14 @@ impl World {
                 let kind = self.flow_kinds[d.flow.0 as usize]
                     .take()
                     .expect("delivery of unknown flow");
+                if self.faults.is_some() && self.reliable_delivery(t, kind) {
+                    // An ack, or a duplicate of an already-processed
+                    // lane: consumed by the reliability layer.
+                    if self.obs_on {
+                        self.obs.flow_delivered(d.flow.0 as u32, t.as_nanos());
+                    }
+                    return;
+                }
                 if self.obs_on {
                     self.obs.flow_delivered(d.flow.0 as u32, t.as_nanos());
                     match kind {
@@ -771,7 +1232,7 @@ impl World {
                         FlowKind::EagerData(m) | FlowKind::RndvData(m) => {
                             self.obs.msg_event(m, MsgEvent::Delivered, t.as_nanos())
                         }
-                        FlowKind::Copy { .. } => {}
+                        FlowKind::Copy { .. } | FlowKind::Ack { .. } => {}
                     }
                 }
                 let (rank, item) = match kind {
@@ -789,8 +1250,28 @@ impl World {
                             },
                         )
                     }
+                    FlowKind::Ack { .. } => {
+                        unreachable!("acks are consumed by the reliability layer")
+                    }
                 };
                 self.queue.schedule_untracked(t, Ev::Rank { rank, item });
+            }
+            NetStep::Dropped(d) => {
+                // An injected fault ate the flow: bandwidth was spent but
+                // nothing arrived. No rank event fires — recovery is the
+                // sender's retransmit timer.
+                let kind = self.flow_kinds[d.flow.0 as usize]
+                    .take()
+                    .expect("drop of unknown flow");
+                if self.obs_on {
+                    let m = match kind {
+                        FlowKind::Ack { key, .. } => Some(key >> 2),
+                        k => xfer_key(k).map(|key| key >> 2),
+                    };
+                    if let Some(m) = m {
+                        self.obs.msg_event(m, MsgEvent::Dropped, t.as_nanos());
+                    }
+                }
             }
         }
     }
@@ -801,7 +1282,10 @@ impl World {
 
     fn rank_step(&mut self, t: Time, rank: Rank, item: RankItem) {
         if self.ranks[rank as usize].finished_at.is_some() {
-            return; // stray events after finish are dropped
+            // Stray events after finish are dropped — but counted, so the
+            // audit can flag a leaked completion in a fault-free run.
+            self.stats.stray_events += 1;
+            return;
         }
 
         // Arrival matching happens at arrival time: "unexpected" means the
@@ -953,7 +1437,73 @@ impl World {
         } else {
             state.busy_until
         };
-        self.noise.defer(rank, t.max(busy))
+        self.rank_defer(rank, t.max(busy))
+    }
+
+    /// True when the fault plan stalls `rank` at some point.
+    fn has_stall(&self, rank: Rank) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.stalls[rank as usize].is_some())
+    }
+
+    /// Noise- and stall-aware deferral: the earliest instant at or after
+    /// `t` outside both the rank's noise windows and its injected stall
+    /// windows. Without a stall schedule this is exactly the noise model's
+    /// `defer` — the fault-free path is bit-identical.
+    fn rank_defer(&mut self, rank: Rank, t: Time) -> Time {
+        if !self.has_stall(rank) {
+            return self.noise.defer(rank, t);
+        }
+        // Fixed point of the two deferrals: each pass can only move
+        // forward, and each stall window is crossed at most once.
+        let mut cur = t;
+        loop {
+            let a = self.noise.defer(rank, cur);
+            let fs = self.faults.as_ref().expect("stall implies faults");
+            let b = fs.stalls[rank as usize]
+                .as_ref()
+                .expect("has_stall")
+                .defer(a);
+            if b == a {
+                return a;
+            }
+            cur = b;
+        }
+    }
+
+    /// Noise- and stall-aware work completion: like the noise model's
+    /// `finish_work`, but injected stall windows also preempt the rank.
+    fn finish_rank_work(&mut self, rank: Rank, t: Time, work: Duration) -> Time {
+        if !self.has_stall(rank) {
+            return self.noise.finish_work(rank, t, work);
+        }
+        let mut cur = t;
+        let mut left = work;
+        loop {
+            cur = self.rank_defer(rank, cur);
+            if left.is_zero() {
+                return cur;
+            }
+            let done = self.noise.finish_work(rank, cur, left);
+            let next_stall = {
+                let fs = self.faults.as_ref().expect("stall implies faults");
+                fs.stalls[rank as usize]
+                    .as_ref()
+                    .expect("has_stall")
+                    .next_start_at_or_after(cur)
+            };
+            match next_stall {
+                Some(s) if s < done => {
+                    // The stall interrupts: bank the noise-free work done
+                    // before it and resume (deferred) at the stall start.
+                    let did = self.noise.work_in(rank, cur, s);
+                    left = Duration::from_nanos(left.as_nanos().saturating_sub(did.as_nanos()));
+                    cur = s;
+                }
+                _ => return done,
+            }
+        }
     }
 
     /// Receiver accepted a rendezvous: record the landing space and send CTS.
@@ -1010,7 +1560,7 @@ impl World {
     /// Extend a rank's (progress) busy horizon by `work` starting at `t`;
     /// returns the completion instant.
     fn bump_busy(&mut self, rank: Rank, t: Time, work: Duration) -> Time {
-        let done = self.noise.finish_work(rank, t, work);
+        let done = self.finish_rank_work(rank, t, work);
         let state = &mut self.ranks[rank as usize];
         if self.async_progress {
             state.prog_busy_until = done;
@@ -1124,7 +1674,7 @@ impl World {
                     src_mem,
                 } => {
                     cost += self.spec.send_overhead;
-                    let at = self.noise.finish_work(rank, t, cost);
+                    let at = self.finish_rank_work(rank, t, cost);
                     self.record(at, rank, TraceKind::SendPosted, dst, payload.len());
                     self.start_send(at, rank, dst, tag, payload, token, src_mem);
                 }
@@ -1135,7 +1685,7 @@ impl World {
                     dst_mem,
                 } => {
                     cost += CTRL_OVERHEAD;
-                    let at = self.noise.finish_work(rank, t, cost);
+                    let at = self.finish_rank_work(rank, t, cost);
                     self.record(at, rank, TraceKind::RecvPosted, src, 0);
                     self.ranks[rank as usize].audit.recvs_posted += 1;
                     let extra = self.post_recv(at, rank, src, tag, token, dst_mem);
@@ -1146,9 +1696,9 @@ impl World {
                         // Application compute runs on the main thread,
                         // serialized with earlier compute but not with the
                         // progress engine.
-                        let posted = self.noise.finish_work(rank, t, cost);
+                        let posted = self.finish_rank_work(rank, t, cost);
                         let start = posted.max(self.ranks[rank as usize].busy_until);
-                        let done = self.noise.finish_work(rank, start, work);
+                        let done = self.finish_rank_work(rank, start, work);
                         let state = &mut self.ranks[rank as usize];
                         state.busy_until = done;
                         state.busy_accum += work;
@@ -1177,12 +1727,12 @@ impl World {
                         // so asking early returns the same instant a later
                         // call would.
                         let begin = if self.obs_on {
-                            Some(self.noise.finish_work(rank, t, cost))
+                            Some(self.finish_rank_work(rank, t, cost))
                         } else {
                             None
                         };
                         cost += work;
-                        let at = self.noise.finish_work(rank, t, cost);
+                        let at = self.finish_rank_work(rank, t, cost);
                         if let Some(begin) = begin {
                             self.obs
                                 .compute(rank, token.0, begin.as_nanos(), at.as_nanos(), false);
@@ -1201,7 +1751,7 @@ impl World {
                 }
                 Op::GpuReduce { bytes, token } => {
                     cost += CTRL_OVERHEAD;
-                    let enq = self.noise.finish_work(rank, t, cost);
+                    let enq = self.finish_rank_work(rank, t, cost);
                     assert!(
                         self.spec.gpu_reduce_bandwidth > 0.0,
                         "gpu_reduce on a machine without GPUs"
@@ -1233,7 +1783,7 @@ impl World {
                     token,
                 } => {
                     cost += CTRL_OVERHEAD;
-                    let at = self.noise.finish_work(rank, t, cost);
+                    let at = self.finish_rank_work(rank, t, cost);
                     let path = self.fabric.route(from, to);
                     self.byte_audit.copy_posted += bytes;
                     self.queue.schedule_untracked(
@@ -1249,12 +1799,12 @@ impl World {
                     // A pure observability mark: zero cost, no events, so
                     // posting it cannot move the simulation.
                     if self.obs_on {
-                        let at = self.noise.finish_work(rank, t, cost);
+                        let at = self.finish_rank_work(rank, t, cost);
                         self.obs.phase(rank, index, begin, at.as_nanos());
                     }
                 }
                 Op::Finish => {
-                    let at = self.noise.finish_work(rank, t, cost);
+                    let at = self.finish_rank_work(rank, t, cost);
                     self.record(at, rank, TraceKind::Finish, 0, 0);
                     let state = &mut self.ranks[rank as usize];
                     if state.finished_at.is_none() {
@@ -1264,7 +1814,7 @@ impl World {
                 }
             }
         }
-        let done = self.noise.finish_work(rank, t, cost);
+        let done = self.finish_rank_work(rank, t, cost);
         if let Some(trigger) = trigger {
             self.obs
                 .dispatch(rank, t.as_nanos(), done.as_nanos(), trigger);
@@ -1405,7 +1955,7 @@ impl World {
                 + Duration::from_secs_f64(bytes as f64 / self.spec.unexpected_copy_bandwidth);
             // RecvDone is scheduled at the post instant; busy-horizon
             // deferral makes it fire after the copy cost elapses.
-            let done = self.noise.finish_work(rank, at, copy_cost);
+            let done = self.finish_rank_work(rank, at, copy_cost);
             self.complete_recv(done, rank, m, token);
             return copy_cost;
         }

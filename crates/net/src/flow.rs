@@ -88,6 +88,10 @@ pub enum NetStep {
     },
     /// The flow arrived at the receiver.
     Delivered(Delivery),
+    /// The flow was lost: injected fault (link loss or outage) consumed
+    /// the transfer. The flow drained normally — bandwidth was spent — but
+    /// nothing arrives; recovery is the reliability layer's job.
+    Dropped(Delivery),
 }
 
 #[derive(Debug)]
@@ -109,6 +113,10 @@ enum Phase {
 struct Flow {
     spec: FlowSpec,
     phase: Phase,
+    /// Marked lost at injection time by the fault layer: the flow drains
+    /// and ties up bandwidth as usual, but delivery reports
+    /// [`NetStep::Dropped`] instead of handing data to the receiver.
+    doomed: bool,
     event: EventKey,
     /// Scheduled time of `event` (to judge whether a rate change moved the
     /// estimate enough to warrant a reschedule).
@@ -125,6 +133,9 @@ struct Flow {
 /// concurrent flows.
 pub struct Network {
     links: Vec<Link>,
+    /// Pristine `(capacity, latency)` of every link, kept so degradation
+    /// windows can scale from the base values rather than compounding.
+    base_links: Vec<(f64, Duration)>,
     slab: Vec<Option<Flow>>,
     free: Vec<u32>,
     active: usize,
@@ -140,6 +151,8 @@ pub struct Network {
     injected_bytes: u64,
     /// Cumulative bytes delivered (diagnostics and audit).
     delivered_bytes: u64,
+    /// Cumulative bytes consumed by doomed flows (injected faults).
+    dropped_bytes: u64,
     /// Scratch buffer: flows affected by the current perturbation, each
     /// paired with the perturbed link's comparison share (post-join share
     /// when a flow entered, pre-leave share when one left).
@@ -183,8 +196,10 @@ impl Network {
         // dividing by one is exact, so seeding with the raw capacity is
         // bit-identical to the formula.
         let link_share = links.iter().map(|l| l.capacity).collect();
+        let base_links = links.iter().map(|l| (l.capacity, l.latency)).collect();
         Network {
             links,
+            base_links,
             slab: Vec::new(),
             free: Vec::new(),
             active: 0,
@@ -192,6 +207,7 @@ impl Network {
             link_share,
             injected_bytes: 0,
             delivered_bytes: 0,
+            dropped_bytes: 0,
             affected: Vec::new(),
             refreshes: 0,
             reschedules: 0,
@@ -230,9 +246,15 @@ impl Network {
 
     /// Total bytes injected into flows so far. Once the network is idle
     /// ([`Network::active_flows`] is zero) this must equal
-    /// [`Network::delivered_bytes`] — the audit layer checks exactly that.
+    /// [`Network::delivered_bytes`] plus [`Network::dropped_bytes`] — the
+    /// audit layer checks exactly that.
     pub fn injected_bytes(&self) -> u64 {
         self.injected_bytes
+    }
+
+    /// Total bytes consumed by doomed flows (injected faults) so far.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
     }
 
     /// Visit every link currently carrying flows, for time-series
@@ -296,12 +318,75 @@ impl Network {
         rate.max(MIN_RATE)
     }
 
+    /// Time a hypothetical `bytes`-sized transfer over `path` would take
+    /// under the *current* share allocation: path latency plus the drain
+    /// at today's equal-share rate. The reliability layer uses this as its
+    /// RTT stand-in when arming retransmission timers; it is an estimate,
+    /// not a promise — shares move as flows come and go.
+    pub fn estimate_transfer(&self, path: &Path, bytes: u64) -> Duration {
+        let latency = self.path_latency(path);
+        if bytes == 0 || path.is_empty() {
+            return latency;
+        }
+        latency + Duration::from_secs_f64_ceil(bytes as f64 / self.share_rate(path))
+    }
+
+    /// Scale one link's capacity and latency to `cap_factor` / `lat_factor`
+    /// times its *base* values (factors of 1.0 restore the link). Flows
+    /// currently draining through the link are re-rated immediately via the
+    /// usual refresh; latency changes apply to drains and launches that
+    /// happen after the call.
+    pub fn scale_link(
+        &mut self,
+        now: Time,
+        link: u32,
+        cap_factor: f64,
+        lat_factor: f64,
+        sched: &mut impl FlowScheduler,
+    ) {
+        let l = link as usize;
+        let (base_cap, base_lat) = self.base_links[l];
+        self.links[l].capacity = base_cap * cap_factor;
+        self.links[l].latency =
+            Duration::from_nanos((base_lat.as_nanos() as f64 * lat_factor).round() as u64);
+        let old_share = self.link_share[l];
+        self.set_share(l);
+        let new_share = self.link_share[l];
+        if new_share == old_share {
+            return;
+        }
+        // Reuse the join/leave refresh machinery: shares that fell compare
+        // against the new (lower) value, shares that rose against the old
+        // one — the same dismissal logic as flow churn (see
+        // `refresh_affected`).
+        let rose = new_share > old_share;
+        let cmp = if rose { old_share } else { new_share };
+        self.affected.clear();
+        for &fid in &self.link_flows[l] {
+            self.affected.push((fid, cmp));
+        }
+        self.refresh_affected(now, sched, rose);
+    }
+
     /// Inject a new flow at time `now`. Returns its id; a delivery (or
     /// drain) event is scheduled through `sched`.
     pub fn start_flow(
         &mut self,
         now: Time,
         spec: FlowSpec,
+        sched: &mut impl FlowScheduler,
+    ) -> FlowId {
+        self.start_flow_doomed(now, spec, false, sched)
+    }
+
+    /// [`Network::start_flow`] with a fault verdict attached: a doomed
+    /// flow drains and consumes bandwidth normally but reports
+    /// [`NetStep::Dropped`] at delivery time instead of arriving.
+    pub fn start_flow_doomed(
+        &mut self,
+        now: Time,
+        spec: FlowSpec,
+        doomed: bool,
         sched: &mut impl FlowScheduler,
     ) -> FlowId {
         let latency = self.path_latency(&spec.path);
@@ -313,6 +398,7 @@ impl Network {
             let id = self.alloc(Flow {
                 spec,
                 phase: Phase::Tail,
+                doomed,
                 event: EventKey::default(),
                 event_time: now + latency,
                 slots: [0; MAX_PATH],
@@ -332,6 +418,7 @@ impl Network {
                 rate: 0.0,
                 last_update: now,
             },
+            doomed,
             event: EventKey::default(),
             event_time: Time::MAX,
             slots: [0; MAX_PATH],
@@ -472,12 +559,18 @@ impl Network {
             let f = self.slab[idx].take().expect("flow vanished");
             self.active -= 1;
             self.free.push(flow.0 as u32);
-            self.delivered_bytes += f.spec.bytes;
-            NetStep::Delivered(Delivery {
+            let delivery = Delivery {
                 flow,
                 tag: f.spec.tag,
                 bytes: f.spec.bytes,
-            })
+            };
+            if f.doomed {
+                self.dropped_bytes += f.spec.bytes;
+                NetStep::Dropped(delivery)
+            } else {
+                self.delivered_bytes += f.spec.bytes;
+                NetStep::Delivered(delivery)
+            }
         }
     }
 
@@ -933,6 +1026,100 @@ mod tests {
         }
         assert_eq!(net.active_flows(), 0);
         assert_eq!(net.injected_bytes(), net.delivered_bytes());
+    }
+
+    #[test]
+    fn doomed_flow_consumes_bandwidth_but_never_arrives() {
+        // A doomed flow shares the link like any other (the honest model of
+        // a transfer corrupted in flight), then reports Dropped.
+        let mut net = one_link(1e9, 0);
+        let mut q = Q(EventQueue::new());
+        net.start_flow_doomed(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 1_000_000,
+                tag: 0,
+            },
+            true,
+            &mut q,
+        );
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 1_000_000,
+                tag: 1,
+            },
+            &mut q,
+        );
+        let mut dropped = Vec::new();
+        let mut delivered = Vec::new();
+        while let Some((t, fid)) = q.0.pop() {
+            match net.handle_event(t, fid, &mut q) {
+                NetStep::Dropped(d) => dropped.push((t, d)),
+                NetStep::Delivered(d) => delivered.push((t, d)),
+                _ => {}
+            }
+        }
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(dropped[0].1.tag, 0);
+        // Both flows shared the link: each finishes around 2 ms.
+        assert!(dropped[0].0.as_nanos().abs_diff(2_000_000) <= 2);
+        assert!(delivered[0].0.as_nanos().abs_diff(2_000_000) <= 2);
+        assert_eq!(net.dropped_bytes(), 1_000_000);
+        assert_eq!(net.delivered_bytes(), 1_000_000);
+        assert_eq!(
+            net.injected_bytes(),
+            net.delivered_bytes() + net.dropped_bytes()
+        );
+    }
+
+    #[test]
+    fn scale_link_rerates_inflight_flows() {
+        // One flow alone at 1 GB/s; halfway through, the link degrades to
+        // 10%: 1 MB total = 0.5 ms at full speed + 5 ms for the rest.
+        let mut net = one_link(1e9, 0);
+        let mut q = Q(EventQueue::new());
+        net.start_flow(
+            Time::ZERO,
+            FlowSpec {
+                path: Path::new(&[LinkId(0)]),
+                bytes: 1_000_000,
+                tag: 0,
+            },
+            &mut q,
+        );
+        // Drive events up to the degradation instant.
+        while q.0.peek_time().is_some_and(|t| t <= Time(500_000)) {
+            let (t, fid) = q.0.pop().unwrap();
+            net.handle_event(t, fid, &mut q);
+        }
+        net.scale_link(Time(500_000), 0, 0.1, 1.0, &mut q);
+        net.check_share_cache();
+        let d = drive_until_delivery(&mut net, &mut q);
+        assert_eq!(d.len(), 1);
+        assert!(
+            d[0].0.as_nanos().abs_diff(5_500_000) <= 4,
+            "degraded delivery at {:?}",
+            d[0].0
+        );
+        // Restoring uses base values, not compounded ones.
+        net.scale_link(Time(6_000_000), 0, 1.0, 1.0, &mut q);
+        assert_eq!(net.links()[0].capacity, 1e9);
+    }
+
+    #[test]
+    fn estimate_transfer_matches_hockney() {
+        let net = one_link(1e9, 1_000);
+        let p = Path::new(&[LinkId(0)]);
+        assert_eq!(net.estimate_transfer(&p, 0), Duration::from_nanos(1_000));
+        assert_eq!(
+            net.estimate_transfer(&p, 1_000_000),
+            Duration::from_nanos(1_001_000)
+        );
+        assert_eq!(net.estimate_transfer(&Path::EMPTY, 123), Duration::ZERO);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Fixed-frequency uniform-duration noise processes.
 
+use adapt_faults::Schedule;
 use adapt_sim::rng::{MasterSeed, StreamTag};
 use adapt_sim::time::{Duration, Time};
 use rand::rngs::SmallRng;
@@ -68,8 +69,9 @@ pub struct RankNoise {
     spec: NoiseSpec,
     phase: Duration,
     rng: SmallRng,
-    /// Generated windows, in order.
-    windows: Vec<(Time, Time)>,
+    /// Generated windows, in order (appended verbatim — the schedule's
+    /// defer/finish-work arithmetic is shared with injected fault stalls).
+    windows: Schedule,
     /// Index of the next window to generate.
     next_index: u64,
 }
@@ -85,14 +87,14 @@ impl RankNoise {
             spec,
             phase,
             rng,
-            windows: Vec::new(),
+            windows: Schedule::empty(),
             next_index: 0,
         }
     }
 
     /// Ensure windows are generated past time `t`.
     fn ensure(&mut self, t: Time) {
-        while self.windows.last().map(|&(s, _)| s <= t).unwrap_or(true) {
+        while self.windows.last().map(|(s, _)| s <= t).unwrap_or(true) {
             let start = Time::ZERO
                 + self.phase
                 + Duration::from_nanos(self.next_index.saturating_mul(self.spec.period.as_nanos()));
@@ -107,7 +109,7 @@ impl RankNoise {
                     (-(u.ln()) * max / 2.0).min(3.0 * max)
                 }
             });
-            self.windows.push((start, start + dur));
+            self.windows.push_back(start, start + dur);
             self.next_index += 1;
             if self.spec.max_duration.is_zero() {
                 // Degenerate zero-noise spec: one dummy window is enough.
@@ -122,15 +124,7 @@ impl RankNoise {
             return t;
         }
         self.ensure(t);
-        for &(s, e) in &self.windows {
-            if t < s {
-                return t;
-            }
-            if t < e {
-                return e;
-            }
-        }
-        t
+        self.windows.defer(t)
     }
 
     /// Completion time of `work` CPU time starting at `start`, accounting
@@ -148,13 +142,12 @@ impl RankNoise {
             }
             // Find the next window beginning after `cur`.
             self.ensure(cur + left);
-            let next = self.windows.iter().find(|&&(s, e)| s > cur || e > cur);
-            match next {
-                Some(&(s, e)) if s <= cur => {
+            match self.windows.next_blocking(cur) {
+                Some((s, e)) if s <= cur => {
                     // Inside a window (possible when called directly).
                     cur = e;
                 }
-                Some(&(s, e)) if s < cur + left => {
+                Some((s, e)) if s < cur + left => {
                     let done = s - cur;
                     left = Duration::from_nanos(left.as_nanos() - done.as_nanos());
                     cur = e;
@@ -164,21 +157,24 @@ impl RankNoise {
         }
     }
 
+    /// Busy time available on this rank in `[start, deadline)` — elapsed
+    /// span minus preempted time. The stall-composition logic uses this to
+    /// account partial progress before a frozen window begins.
+    pub fn work_in(&mut self, start: Time, deadline: Time) -> Duration {
+        if self.spec.max_duration.is_zero() {
+            return deadline.saturating_since(start);
+        }
+        self.ensure(deadline);
+        self.windows.work_in(start, deadline)
+    }
+
     /// Total preempted time in `[0, until)`, for reporting.
     pub fn stolen_until(&mut self, until: Time) -> Duration {
         if self.spec.max_duration.is_zero() {
             return Duration::ZERO;
         }
         self.ensure(until);
-        let mut total = Duration::ZERO;
-        for &(s, e) in &self.windows {
-            if s >= until {
-                break;
-            }
-            let end = e.min(until);
-            total += end.saturating_since(s);
-        }
-        total
+        self.windows.stolen_until(until)
     }
 }
 
@@ -259,6 +255,14 @@ impl ClusterNoise {
             None => start + work,
         }
     }
+
+    /// Busy time available to `rank` in `[start, deadline)`.
+    pub fn work_in(&mut self, rank: u32, start: Time, deadline: Time) -> Duration {
+        match &mut self.ranks[rank as usize] {
+            Some(n) => n.work_in(start, deadline),
+            None => deadline.saturating_since(start),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -287,7 +291,7 @@ mod tests {
     fn defer_skips_windows() {
         let mut n = RankNoise::new(spec_ms(100, 10), 1);
         n.ensure(Time::ZERO + Duration::from_millis(1000));
-        let (s0, e0) = n.windows[0];
+        let (s0, e0) = n.windows.windows()[0];
         assert!(e0 > s0, "window has positive duration almost surely");
         // Before the window: unchanged.
         let before = Time(s0.as_nanos().saturating_sub(1));
@@ -303,7 +307,7 @@ mod tests {
     fn finish_work_stretches_across_window() {
         let mut n = RankNoise::new(spec_ms(100, 10), 7);
         n.ensure(Time::ZERO + Duration::from_millis(500));
-        let (s0, e0) = n.windows[0];
+        let (s0, e0) = n.windows.windows()[0];
         // Start 1 ms before the window with 2 ms of work: 1 ms done before,
         // the window passes, 1 ms after.
         let start = Time(s0.as_nanos() - 1_000_000);
@@ -376,7 +380,7 @@ mod tests {
         let mut n = RankNoise::new(spec, 4);
         n.ensure(Time::ZERO + Duration::from_millis(5_000));
         // Windows are disjoint and ordered.
-        let w = n.windows.clone();
+        let w = n.windows.windows().to_vec();
         for pair in w.windows(2) {
             assert!(pair[0].1 <= pair[1].0, "windows overlap: {pair:?}");
         }

@@ -148,6 +148,12 @@ pub struct MsgRec {
     /// RecvDone scheduled for the receiving program (after any
     /// unexpected-copy cost).
     pub recv_ready_ns: Option<u64>,
+    /// Flows of this message lost to injected faults.
+    pub drops: u32,
+    /// Reliability-layer retransmissions for this message.
+    pub retransmits: u32,
+    /// First acknowledgement back at the sender (reliable runs only).
+    pub acked_ns: Option<u64>,
 }
 
 /// Protocol class of a network flow.
@@ -163,6 +169,8 @@ pub enum FlowClass {
     Rndv,
     /// Local asynchronous copy (e.g. GPU staging DMA).
     Copy,
+    /// Reliability-layer acknowledgement (zero bytes, receiver to sender).
+    Ack,
 }
 
 impl FlowClass {
@@ -174,6 +182,7 @@ impl FlowClass {
             FlowClass::Eager => "eager",
             FlowClass::Rndv => "rndv",
             FlowClass::Copy => "copy",
+            FlowClass::Ack => "ack",
         }
     }
 }

@@ -32,6 +32,12 @@ pub enum MsgEvent {
     },
     /// RecvDone scheduled for the receiving program.
     RecvReady,
+    /// A flow carrying this message was lost to an injected fault.
+    Dropped,
+    /// The reliability layer relaunched a lost flow after its RTO.
+    Retransmit,
+    /// The sender's acknowledgement arrived; the retransmit timer died.
+    Acked,
 }
 
 /// A flow launch, reported with its routing.
@@ -206,6 +212,9 @@ impl Recorder for MemRecorder {
                 rec.unexpected = unexpected;
             }
             MsgEvent::RecvReady => rec.recv_ready_ns = Some(t_ns),
+            MsgEvent::Dropped => rec.drops += 1,
+            MsgEvent::Retransmit => rec.retransmits += 1,
+            MsgEvent::Acked => rec.acked_ns = Some(t_ns),
         }
     }
 

@@ -10,6 +10,13 @@
 //! 1. **Conservation of bytes** — every posted send byte is eventually
 //!    matched by a completed-receive byte, and both totals agree with what
 //!    the network engine says it delivered (plus explicit copy traffic).
+//!    Under fault injection the ledger gains two columns — bytes lost to
+//!    injected drops and bytes re-injected by retransmissions — and the
+//!    equations generalize to `injected == delivered + dropped` and
+//!    `delivered + dropped == sends + copies + retransmitted`. The
+//!    exactly-once obligation (`send bytes == completed-receive bytes`)
+//!    is unchanged: the reliability layer must deliver every message
+//!    exactly once no matter how many attempts the network ate.
 //! 2. **Causality** — no event is ever scheduled before the simulation's
 //!    current time (see [`crate::queue::EventQueue::schedule`]).
 //! 3. **Matched completions** — per rank, sends posted equal send
@@ -56,6 +63,18 @@ pub struct AuditReport {
     pub net_injected_bytes: u64,
     /// Bytes the network engine delivered to endpoints.
     pub net_delivered_bytes: u64,
+    /// Bytes the network engine dropped (injected faults): drained —
+    /// bandwidth was spent — but never delivered.
+    pub net_dropped_bytes: u64,
+    /// Bytes injected by reliability-layer retransmissions, over and
+    /// above the bytes the programs posted.
+    pub retrans_injected_bytes: u64,
+    /// Events addressed to already-finished ranks and silently dropped.
+    /// Nonzero in a fault-free run means the runtime leaked a completion.
+    pub stray_events: u64,
+    /// A fault plan was active: stray events may legitimately arise from
+    /// late retransmissions, so they are not flagged.
+    pub faults_active: bool,
     /// Flows still in flight in the network engine at the end of the run.
     pub net_flows_in_flight: usize,
     /// Per-rank posted/completed counters.
@@ -100,17 +119,26 @@ impl AuditReport {
                 self.copy_posted_bytes, self.copy_completed_bytes
             ));
         }
-        if self.net_delivered_bytes != self.send_posted_bytes + self.copy_posted_bytes {
+        if self.net_delivered_bytes + self.net_dropped_bytes
+            != self.send_posted_bytes + self.copy_posted_bytes + self.retrans_injected_bytes
+        {
             out.push(format!(
-                "network delivered {} bytes, expected sends + copies = {}",
+                "network delivered {} + dropped {} bytes, expected sends + copies + retransmits = {}",
                 self.net_delivered_bytes,
-                self.send_posted_bytes + self.copy_posted_bytes
+                self.net_dropped_bytes,
+                self.send_posted_bytes + self.copy_posted_bytes + self.retrans_injected_bytes
             ));
         }
-        if self.net_injected_bytes != self.net_delivered_bytes {
+        if self.net_injected_bytes != self.net_delivered_bytes + self.net_dropped_bytes {
             out.push(format!(
-                "network injected {} bytes but delivered {}",
-                self.net_injected_bytes, self.net_delivered_bytes
+                "network injected {} bytes but delivered {} and dropped {}",
+                self.net_injected_bytes, self.net_delivered_bytes, self.net_dropped_bytes
+            ));
+        }
+        if self.stray_events > 0 && !self.faults_active {
+            out.push(format!(
+                "{} event(s) addressed to already-finished ranks in a fault-free run",
+                self.stray_events
             ));
         }
         if self.net_flows_in_flight > 0 {
@@ -268,5 +296,30 @@ mod tests {
         r.unclaimed_messages = 1;
         r.unexpected_leftovers = 2;
         assert_eq!(r.issues().len(), 2);
+    }
+
+    #[test]
+    fn faulted_ledger_balances_with_drops_and_retransmits() {
+        // 100 send bytes, one 30-byte retransmission, 30 bytes dropped:
+        // injected = 140 + 30, delivered stays 140 + copies.
+        let mut r = clean_report();
+        r.faults_active = true;
+        r.retrans_injected_bytes = 30;
+        r.net_dropped_bytes = 30;
+        r.net_injected_bytes = 170;
+        assert!(r.is_clean(), "{r}");
+        // An unbalanced drop column is flagged.
+        r.net_dropped_bytes = 20;
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn stray_events_dirty_only_fault_free_runs() {
+        let mut r = clean_report();
+        r.stray_events = 3;
+        assert!(!r.is_clean());
+        assert!(r.issues()[0].contains("already-finished"));
+        r.faults_active = true;
+        assert!(r.is_clean());
     }
 }

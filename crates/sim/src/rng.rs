@@ -51,6 +51,8 @@ pub enum StreamTag {
     Test = 4,
     /// Application-level randomness (e.g. ASP edge weights).
     App = 5,
+    /// Fault injection: loss draws and retransmit-backoff jitter.
+    Faults = 6,
 }
 
 #[inline]

@@ -12,6 +12,11 @@ use adapt::collectives::{
 use adapt::obs::{chrome_trace, critical_path, metrics_csv, MemRecorder};
 use adapt::prelude::*;
 
+/// Exit code when the progress watchdog (or a dry event queue) cuts a
+/// run short: distinguishes "the schedule was not survivable" from
+/// argument errors and panics.
+const EXIT_STALLED: i32 = 3;
+
 fn arg(args: &[String], key: &str) -> Option<String> {
     args.iter()
         .position(|a| a == &format!("--{key}"))
@@ -81,6 +86,62 @@ impl ObsArgs {
     }
 }
 
+/// Fault-injection flags: a `--faults` plan (see [`FaultPlan::parse`] for
+/// the grammar) and an optional `--watchdog-horizon`.
+struct FaultArgs {
+    plan: Option<FaultPlan>,
+    watchdog: Option<Duration>,
+}
+
+impl FaultArgs {
+    fn parse(args: &[String], seed: u64) -> FaultArgs {
+        FaultArgs {
+            plan: arg(args, "faults").map(|s| {
+                FaultPlan::parse(&s, seed).unwrap_or_else(|e| panic!("--faults {s}: {e}"))
+            }),
+            watchdog: arg(args, "watchdog-horizon").map(|s| {
+                adapt::faults::parse_duration(&s)
+                    .unwrap_or_else(|e| panic!("--watchdog-horizon {s}: {e}"))
+            }),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.plan.is_some() || self.watchdog.is_some()
+    }
+
+    /// Attach the plan and watchdog, then run. A stall diagnosis goes to
+    /// stderr and exits with [`EXIT_STALLED`] — the one outcome where the
+    /// simulator's answer is "this schedule is not survivable".
+    fn run(&self, mut world: World, programs: Vec<Box<dyn RankProgram>>) -> adapt::mpi::RunResult {
+        if let Some(plan) = &self.plan {
+            world = world.with_faults(plan.clone());
+        }
+        if let Some(h) = self.watchdog {
+            world = world.with_watchdog(h);
+        }
+        match world.try_run(programs) {
+            Ok(res) => res,
+            Err(diag) => {
+                eprintln!("{diag}");
+                std::process::exit(EXIT_STALLED);
+            }
+        }
+    }
+
+    /// One-line recovery summary; the CI smoke job greps for this.
+    fn summary(&self, res: &adapt::mpi::RunResult) {
+        if self.plan.is_none() {
+            return;
+        }
+        let s = &res.stats;
+        println!(
+            "  recovery: drops={} retransmits={} acks={} dups={} backoff={}ns",
+            s.drops_injected, s.retransmits, s.acks, s.duplicates_suppressed, s.backoff_time
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if flag(&args, "help") || args.is_empty() {
@@ -90,7 +151,8 @@ fn main() {
              [--lib adapt|default|default-topo|intel|cray|mvapich] \
              [--msg BYTES] [--noise PCT] [--seed S] [--gpu] [--trace FILE.csv] [--describe] \
              [--trace-out FILE.json] [--metrics-out FILE.csv] [--metrics-interval NS] \
-             [--critical-path]"
+             [--critical-path] [--faults loss=P,rto=DUR,retries=N,jitter=F,stall=R:S-E,\
+down=S-E,degrade=F:S-E] [--watchdog-horizon DUR]"
         );
         return;
     }
@@ -116,8 +178,13 @@ fn main() {
         .unwrap_or(1);
     let op = arg(&args, "op").unwrap_or_else(|| "bcast".into());
     let lib = arg(&args, "lib").unwrap_or_else(|| "adapt".into());
+    let faults = FaultArgs::parse(&args, seed);
 
     if gpu {
+        assert!(
+            !faults.active(),
+            "--faults/--watchdog-horizon run on the CPU path; drop --gpu"
+        );
         let library = match lib.as_str() {
             "adapt" => GpuLibrary::OmpiAdapt,
             "default" => GpuLibrary::OmpiDefault,
@@ -215,12 +282,13 @@ fn main() {
             if obs.wanted() {
                 world = world.with_recorder(Box::new(obs.recorder()));
             }
-            let res = world.run(programs);
+            let res = faults.run(world, programs);
             println!(
                 "{op} (ADAPT) on {nranks} ranks, {msg} bytes: {:.1} us",
                 res.makespan.as_micros_f64()
             );
             print!("{}", res.stats);
+            faults.summary(&res);
             println!("  {}", res.audit);
             if obs.wanted() {
                 obs.emit(&res);
@@ -256,7 +324,7 @@ fn main() {
         let noise_model =
             adapt::collectives::noise_for_case(&case, NoiseScope::PerNode, noise, seed);
         let world = World::cpu(case.machine.clone(), case.nranks, noise_model).enable_trace();
-        let res = world.run(case.programs());
+        let res = faults.run(world, case.programs());
         std::fs::write(&path, adapt::mpi::trace_to_csv(&res.trace)).expect("write trace");
         println!(
             "{op} ({}) on {nranks} ranks: {:.1} us — {} trace events written to {path}",
@@ -264,6 +332,7 @@ fn main() {
             res.makespan.as_micros_f64(),
             res.trace.len()
         );
+        faults.summary(&res);
         println!("  {}", res.audit);
         return;
     }
@@ -273,7 +342,7 @@ fn main() {
         // recorder attached. Results are identical either way — recording
         // never perturbs the simulation.
         let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let res = world.with_recorder(Box::new(obs.recorder())).run(programs);
+        let res = faults.run(world.with_recorder(Box::new(obs.recorder())), programs);
         assert!(res.audit.is_clean(), "{}", res.audit);
         println!(
             "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",
@@ -281,8 +350,23 @@ fn main() {
             res.makespan.as_micros_f64()
         );
         print!("{}", res.stats);
+        faults.summary(&res);
         println!("  audit: clean (invariants asserted by the runner)");
         obs.emit(&res);
+        return;
+    }
+    if faults.active() {
+        let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
+        let res = faults.run(world, programs);
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        println!(
+            "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",
+            library.label(),
+            res.makespan.as_micros_f64()
+        );
+        print!("{}", res.stats);
+        faults.summary(&res);
+        println!("  audit: clean (invariants asserted by the runner)");
         return;
     }
     let (us, stats) = run_once_scoped(&case, NoiseScope::PerNode, noise, seed);

@@ -49,6 +49,7 @@
 //! | [`core`] | **the ADAPT framework** (event-driven bcast/reduce, trees) |
 //! | [`collectives`] | baselines: blocking, Waitall, hierarchical, composite |
 //! | [`noise`] | system-noise injection |
+//! | [`faults`] | deterministic fault injection: loss, degradation, stalls |
 //! | [`gpu`] | GPU substrate: staging buffers, stream-offloaded reduction |
 //! | [`apps`] | ASP (parallel Floyd–Warshall) |
 
@@ -76,6 +77,10 @@ pub use adapt_collectives as collectives;
 /// System-noise injection.
 pub use adapt_noise as noise;
 
+/// Deterministic fault injection: lossy links, degradation windows, rank
+/// stalls, and the reliability-layer configuration.
+pub use adapt_faults as faults;
+
 /// GPU cluster support.
 pub use adapt_gpu as gpu;
 
@@ -92,6 +97,7 @@ pub mod prelude {
         AlltoallSpec, BarrierSpec, BcastSpec, GatherSpec, ReduceData, ReduceExec, ReduceSpec,
         ScanSpec, ScatterSpec, TopoTreeConfig, Tree, TreeKind,
     };
+    pub use adapt_faults::FaultPlan;
     pub use adapt_gpu::{run_gpu_once, GpuBcastSpec, GpuCase, GpuLibrary};
     pub use adapt_mpi::{AuditReport, Completion, Payload, ProgramCtx, RankProgram, Token, World};
     pub use adapt_noise::{ClusterNoise, NoiseSpec};

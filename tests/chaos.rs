@@ -1,0 +1,402 @@
+//! Chaos suite: seeded randomized fault schedules against the reliability
+//! layer.
+//!
+//! The contract under test is the tentpole claim of the fault-injection
+//! work: **any survivable fault schedule changes timing, never data**.
+//! Every test here runs a real collective carrying real payload bytes
+//! under injected loss, link-down windows, degradation windows, or rank
+//! stalls, and asserts
+//!
+//! 1. byte-identical results to a fault-free run (assembled broadcast
+//!    buffers, numerically exact reductions),
+//! 2. a clean end-of-run audit (the faulted byte ledger balances:
+//!    `injected == delivered + dropped`, exactly-once delivery),
+//! 3. determinism — the same seed reproduces the same trace, stats, and
+//!    per-rank finish times bit-for-bit,
+//! 4. an inert plan is indistinguishable from no plan at all,
+//! 5. a guaranteed stall trips the watchdog with a per-rank diagnosis
+//!    instead of hanging.
+
+use adapt::collectives::{run_once_faulted, CollectiveCase, Library, NoiseScope, OpKind};
+use adapt::prelude::*;
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Broadcast payload with a recognizable, position-dependent pattern.
+fn payload(len: usize) -> Vec<u8> {
+    (0..len as u32).map(|i| (i % 249) as u8).collect()
+}
+
+/// Absolute simulated time `us` microseconds after start.
+fn t_us(us: u64) -> Time {
+    Time::ZERO + Duration::from_micros(us)
+}
+
+/// Build the standard chaos workload: 16-rank ADAPT broadcast of real
+/// bytes on the two-node minicluster.
+fn bcast_world(data: &[u8]) -> (World, Vec<Box<dyn RankProgram>>) {
+    let machine = profiles::minicluster(2, 2, 4);
+    let nranks = 16;
+    let placement = Placement::block_cpu(machine.shape, nranks);
+    let tree = Arc::new(topology_aware_tree(&placement, TopoTreeConfig::default()));
+    let spec = BcastSpec {
+        tree,
+        msg_bytes: data.len() as u64,
+        cfg: AdaptConfig::default().with_seg_size(32 * 1024),
+        data: Some(Bytes::from(data.to_vec())),
+    };
+    let world = World::cpu(machine, nranks, ClusterNoise::silent(nranks));
+    (world, spec.programs())
+}
+
+/// Assert every rank assembled exactly `data`.
+fn assert_bytes(res: adapt::mpi::RunResult, data: &[u8]) {
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    for (r, p) in res.programs.into_iter().enumerate() {
+        let any: Box<dyn std::any::Any> = p;
+        let b = any.downcast::<adapt::core::AdaptBcast>().unwrap();
+        assert_eq!(b.assembled().unwrap(), data, "rank {r}");
+    }
+}
+
+#[test]
+fn lossy_bcast_is_byte_identical_and_recovers() {
+    let data = payload(300_000);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(7, 0.02).with_rto(Duration::from_micros(60));
+    let res = world.with_faults(plan).run(programs);
+    assert!(res.stats.drops_injected > 0, "2% loss must drop something");
+    assert!(res.stats.retransmits > 0, "drops must trigger retransmits");
+    assert!(res.stats.acks > 0, "delivered transfers must be acked");
+    assert_bytes(res, &data);
+}
+
+#[test]
+fn lossy_reduce_is_numerically_exact() {
+    let machine = profiles::minicluster(2, 2, 4);
+    let nranks = 16u32;
+    let elems = 4000usize;
+    let contributions: Arc<Vec<Bytes>> = Arc::new(
+        (0..nranks)
+            .map(|r| {
+                let v: Vec<f64> = (0..elems).map(|i| ((r as usize + i) % 37) as f64).collect();
+                Bytes::from(adapt::mpi::f64_to_bytes(&v))
+            })
+            .collect(),
+    );
+    let expected: Vec<f64> = (0..elems)
+        .map(|i| (0..nranks).map(|r| ((r as usize + i) % 37) as f64).sum())
+        .collect();
+    let placement = Placement::block_cpu(machine.shape, nranks);
+    let tree = Arc::new(topology_aware_tree(&placement, TopoTreeConfig::default()));
+    let spec = ReduceSpec {
+        tree,
+        msg_bytes: (elems * 8) as u64,
+        cfg: AdaptConfig::default().with_seg_size(8 * 1024),
+        data: ReduceData::Real {
+            op: adapt::mpi::ReduceOp::Sum,
+            dtype: adapt::mpi::DType::F64,
+            contributions,
+        },
+        exec: ReduceExec::Cpu,
+    };
+    let world = World::cpu(machine, nranks, ClusterNoise::silent(nranks));
+    let plan = FaultPlan::lossy(11, 0.03).with_rto(Duration::from_micros(60));
+    let res = world.with_faults(plan).run(spec.programs());
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    assert!(
+        res.stats.retransmits > 0,
+        "3% loss must trigger retransmits"
+    );
+    let root: Box<dyn std::any::Any> = res.programs.into_iter().next().unwrap();
+    let root = root.downcast::<adapt::core::AdaptReduce>().unwrap();
+    assert_eq!(
+        adapt::mpi::bytes_to_f64(&root.result().unwrap()),
+        expected,
+        "loss must never corrupt a reduction"
+    );
+}
+
+#[test]
+fn same_seed_reproduces_the_same_faulted_run() {
+    let data = payload(200_000);
+    let run = || {
+        let (world, programs) = bcast_world(&data);
+        let plan = FaultPlan::lossy(42, 0.02).with_rto(Duration::from_micros(80));
+        world.with_faults(plan).run(programs)
+    };
+    let a = run();
+    let b = run();
+    assert!(a.stats.drops_injected > 0);
+    assert_eq!(a.stats, b.stats, "same seed must reproduce every counter");
+    assert_eq!(
+        a.per_rank_finish, b.per_rank_finish,
+        "same seed must reproduce per-rank completion times exactly"
+    );
+    assert_eq!(a.makespan, b.makespan);
+}
+
+#[test]
+fn inert_plan_is_indistinguishable_from_no_plan() {
+    let data = payload(150_000);
+    let (world, programs) = bcast_world(&data);
+    let baseline = world.run(programs);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(9, 0.0); // zero loss, no windows: inert
+    assert!(plan.is_inert());
+    let faulted = world.with_faults(plan).run(programs);
+    assert_eq!(
+        baseline.stats, faulted.stats,
+        "inert plan must attach nothing"
+    );
+    assert_eq!(baseline.per_rank_finish, faulted.per_rank_finish);
+}
+
+#[test]
+fn faults_change_timing_never_data() {
+    // The makespan under loss must not beat the fault-free run: drops
+    // only ever cost time (drained bandwidth + RTO waits), never save it.
+    let data = payload(200_000);
+    let (world, programs) = bcast_world(&data);
+    let clean = world.run(programs);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(3, 0.05).with_rto(Duration::from_micros(60));
+    let faulted = world.with_faults(plan).run(programs);
+    assert!(faulted.stats.retransmits > 0);
+    assert!(
+        faulted.makespan >= clean.makespan,
+        "loss cannot speed a run up: clean={} faulted={}",
+        clean.makespan,
+        faulted.makespan
+    );
+    assert_bytes(faulted, &data);
+}
+
+#[test]
+fn down_window_is_survivable() {
+    // Take the whole fabric down for a window mid-run: every flow
+    // launched inside it is dropped, and the reliability layer must
+    // carry the collective across the outage.
+    let data = payload(200_000);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(5, 0.0)
+        .with_down(t_us(40), t_us(160))
+        .with_rto(Duration::from_micros(60));
+    let res = world.with_faults(plan).run(programs);
+    assert!(
+        res.stats.drops_injected > 0,
+        "the outage must hit in-window launches"
+    );
+    assert!(res.stats.retransmits > 0);
+    assert_bytes(res, &data);
+}
+
+#[test]
+fn degrade_window_slows_but_never_corrupts() {
+    let data = payload(200_000);
+    let (world, programs) = bcast_world(&data);
+    let clean = world.run(programs);
+    let (world, programs) = bcast_world(&data);
+    // 5% capacity, 4x latency across a window covering the whole run.
+    let plan = FaultPlan::lossy(5, 0.0).with_degrade(
+        0.05,
+        4.0,
+        Time::ZERO,
+        Time::ZERO + Duration::from_millis(100),
+    );
+    let res = world.with_faults(plan).run(programs);
+    assert!(
+        res.makespan > clean.makespan,
+        "a 20x-slower fabric must inflate the makespan: clean={} degraded={}",
+        clean.makespan,
+        res.makespan
+    );
+    assert_bytes(res, &data);
+}
+
+#[test]
+fn stalled_rank_delays_but_never_corrupts() {
+    let data = payload(150_000);
+    let (world, programs) = bcast_world(&data);
+    let clean = world.run(programs);
+    // Stall a mid-tree rank well past the fault-free makespan: the whole
+    // subtree must wait for it and still assemble the right bytes.
+    let (world, programs) = bcast_world(&data);
+    let stall_end = clean.makespan.as_nanos() * 2;
+    let stall_end = Time::ZERO + Duration::from_nanos(stall_end);
+    let plan = FaultPlan::lossy(5, 0.0).with_stall(3, Time::ZERO, stall_end);
+    let res = world.with_faults(plan).run(programs);
+    assert!(
+        res.per_rank_finish[3] >= stall_end,
+        "rank 3 cannot finish before its stall window ends"
+    );
+    assert!(res.makespan > clean.makespan);
+    assert_bytes(res, &data);
+}
+
+#[test]
+fn randomized_schedules_are_all_survivable() {
+    // Seeded pseudo-random fault schedules: loss rate, an outage window,
+    // and a rank stall all derived from the seed. Every schedule must be
+    // survived byte-correct with a clean audit.
+    let data = payload(120_000);
+    for seed in 0..6u64 {
+        let loss = 0.005 + 0.008 * (seed as f64);
+        let down_start = 30 + 17 * seed;
+        let stall_rank = (seed * 5 % 16) as u32;
+        let plan = FaultPlan::lossy(seed, loss)
+            .with_down(t_us(down_start), t_us(down_start + 40))
+            .with_stall(stall_rank, t_us(10 * seed), t_us(10 * seed + 50))
+            .with_rto(Duration::from_micros(80));
+        let (world, programs) = bcast_world(&data);
+        let res = world.with_faults(plan).run(programs);
+        assert!(
+            res.stats.drops_injected > 0,
+            "seed {seed}: outage must drop flows"
+        );
+        assert_bytes(res, &data);
+    }
+}
+
+#[test]
+fn chaos_matrix_every_library_survives_loss() {
+    // Every comparator library, broadcast and reduce, under seeded loss:
+    // the reliability layer sits below the protocol layer, so recovery
+    // must be algorithm-agnostic. `run_once_faulted` asserts the audit.
+    let machine = profiles::minicluster(2, 2, 4);
+    for library in [
+        Library::OmpiAdapt,
+        Library::OmpiDefault,
+        Library::OmpiBlocking,
+        Library::IntelMpi,
+    ] {
+        for op in [OpKind::Bcast, OpKind::Reduce] {
+            let case = CollectiveCase {
+                machine: machine.clone(),
+                nranks: 16,
+                op,
+                library,
+                msg_bytes: 64 * 1024,
+            };
+            let plan = FaultPlan::lossy(13, 0.015).with_rto(Duration::from_micros(60));
+            let res = run_once_faulted(&case, NoiseScope::AllRanks, 0.0, 1, plan);
+            assert!(
+                res.stats.drops_injected == 0 || res.stats.retransmits > 0,
+                "{library:?} {op:?}: drops without retransmits"
+            );
+        }
+    }
+}
+
+#[test]
+fn faults_compose_with_noise() {
+    // Loss + OS noise together: the two RNG streams are independent and
+    // the composed run must still be deterministic and byte-correct.
+    let data = payload(150_000);
+    let run = || {
+        let machine = profiles::minicluster(2, 2, 4);
+        let nranks = 16;
+        let placement = Placement::block_cpu(machine.shape, nranks);
+        let tree = Arc::new(topology_aware_tree(&placement, TopoTreeConfig::default()));
+        let spec = BcastSpec {
+            tree,
+            msg_bytes: data.len() as u64,
+            cfg: AdaptConfig::default().with_seg_size(32 * 1024),
+            data: Some(Bytes::from(data.clone())),
+        };
+        let noise = ClusterNoise::uniform(
+            nranks,
+            NoiseSpec {
+                period: Duration::from_micros(300),
+                max_duration: Duration::from_micros(150),
+                law: adapt::noise::DurationLaw::Uniform,
+            },
+            MasterSeed(5),
+        );
+        let world = World::cpu(machine, nranks, noise);
+        let plan = FaultPlan::lossy(21, 0.02).with_rto(Duration::from_micros(80));
+        world.with_faults(plan).run(spec.programs())
+    };
+    let a = run();
+    assert!(a.stats.retransmits > 0);
+    let b = run();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.per_rank_finish, b.per_rank_finish);
+    assert_bytes(a, &data);
+}
+
+#[test]
+fn faults_compose_with_observability() {
+    // Recording must survive the reliability layer's edge cases — in
+    // particular a retransmit whose timer fires after the message it
+    // belongs to has completed (lost ack, delivered original). High
+    // loss and a tight RTO make those races common.
+    let data = payload(200_000);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(29, 0.05).with_rto(Duration::from_micros(40));
+    let res = world
+        .with_faults(plan)
+        .with_recorder(Box::new(adapt::obs::MemRecorder::new()))
+        .run(programs);
+    assert!(res.stats.retransmits > 0);
+    let obs = res.obs.as_ref().expect("recorded run carries obs data");
+    let drops: u32 = obs.msgs.iter().map(|m| m.drops).sum();
+    let rtx: u32 = obs.msgs.iter().map(|m| m.retransmits).sum();
+    assert!(drops > 0, "per-message drop events must be recorded");
+    assert_eq!(
+        rtx as u64, res.stats.retransmits,
+        "per-message retransmit events must match the world counter"
+    );
+    assert_bytes(res, &data);
+}
+
+#[test]
+fn watchdog_diagnoses_a_guaranteed_stall() {
+    // Rank 2 stalls for a simulated hour; a 1ms watchdog horizon must
+    // surface a diagnosis naming it instead of running the stall out.
+    let data = payload(100_000);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(1, 0.0).with_stall(
+        2,
+        Time::ZERO,
+        Time::ZERO + Duration::from_millis(3_600_000),
+    );
+    let err = match world
+        .with_faults(plan)
+        .with_watchdog(Duration::from_millis(1))
+        .try_run(programs)
+    {
+        Err(e) => e,
+        Ok(_) => panic!("an hour-long stall must trip a 1ms watchdog"),
+    };
+    assert!(err.watchdog_fired, "horizon breach, not a dry queue");
+    assert!(err.stuck.contains(&2), "rank 2 is the stalled rank: {err}");
+    let text = err.to_string();
+    assert!(
+        text.contains("deadlock"),
+        "diagnosis must lead with deadlock: {text}"
+    );
+    assert!(
+        text.contains("stalled=true"),
+        "diagnosis must flag the stall: {text}"
+    );
+}
+
+#[test]
+fn watchdog_stays_silent_on_survivable_schedules() {
+    // A generous horizon must never fire on a run that recovers on its
+    // own, even under heavy loss.
+    let data = payload(150_000);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(17, 0.04).with_rto(Duration::from_micros(60));
+    let res = match world
+        .with_faults(plan)
+        .with_watchdog(Duration::from_millis(1000))
+        .try_run(programs)
+    {
+        Ok(r) => r,
+        Err(d) => panic!("a survivable schedule must complete under a generous watchdog: {d}"),
+    };
+    assert!(res.stats.retransmits > 0);
+    assert_bytes(res, &data);
+}

@@ -1,0 +1,97 @@
+//! Golden fixture for the reliability layer.
+//!
+//! One lossy ADAPT broadcast on a fixed seed, pinned byte-for-byte:
+//! per-rank completion times *and* the recovery counters (drops,
+//! retransmits, acks, duplicate suppressions). Any change to the loss
+//! draw order, the RTO arithmetic, the ack path, or the retransmit
+//! bookkeeping moves this fixture and must be reviewed as a behaviour
+//! change, not silently absorbed.
+//!
+//! Regenerate (only when a behaviour change is intended and reviewed):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test faults_golden
+//! ```
+
+use adapt::prelude::*;
+use bytes::Bytes;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Serialize the faulted run: recovery counters first (the part this
+/// fixture exists to pin), then one line per rank with its completion
+/// time in integer nanoseconds.
+fn serialize(res: &adapt::mpi::RunResult) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "drops={} retransmits={} acks={} dups={} backoff_ns={}",
+        res.stats.drops_injected,
+        res.stats.retransmits,
+        res.stats.acks,
+        res.stats.duplicates_suppressed,
+        res.stats.backoff_time,
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "events={} messages={} delivered_bytes={}",
+        res.stats.events, res.stats.messages, res.stats.delivered_bytes
+    )
+    .unwrap();
+    for (rank, t) in res.per_rank_finish.iter().enumerate() {
+        writeln!(out, "{rank},{}", t.as_nanos()).unwrap();
+    }
+    out
+}
+
+fn check(name: &str, got: String) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "faulted golden trace diverged from {} — if the change is \
+         intentional, regenerate with GOLDEN_REGEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn lossy_bcast_16r_300k_seed7() {
+    let machine = profiles::minicluster(2, 2, 4);
+    let nranks = 16;
+    let data: Vec<u8> = (0..300_000u32).map(|i| (i % 249) as u8).collect();
+    let placement = Placement::block_cpu(machine.shape, nranks);
+    let tree = Arc::new(topology_aware_tree(&placement, TopoTreeConfig::default()));
+    let spec = BcastSpec {
+        tree,
+        msg_bytes: data.len() as u64,
+        cfg: AdaptConfig::default().with_seg_size(32 * 1024),
+        data: Some(Bytes::from(data.clone())),
+    };
+    let world = World::cpu(machine, nranks, ClusterNoise::silent(nranks));
+    let plan = FaultPlan::lossy(7, 0.02).with_rto(Duration::from_micros(60));
+    let res = world.with_faults(plan).run(spec.programs());
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    assert!(
+        res.stats.retransmits > 0,
+        "the pinned run must exercise recovery"
+    );
+    check("faulted_bcast_16r_300k_seed7.txt", serialize(&res));
+}
