@@ -585,6 +585,95 @@ pub fn run_once_faulted(
     res
 }
 
+/// Run one iteration with a [`MemRecorder`](adapt_obs::MemRecorder)
+/// attached and return the full result; `res.obs` carries the recording
+/// (`metrics_interval_ns` of zero disables gauge sampling). This is the
+/// producer side of the what-if engine: the recording feeds
+/// [`adapt_obs::predict`] and `obs-whatif`.
+pub fn record_once(
+    case: &CollectiveCase,
+    scope: NoiseScope,
+    noise_percent: f64,
+    seed: u64,
+    metrics_interval_ns: u64,
+) -> RunResult {
+    let (world, programs) = world_for_case(case, scope, noise_percent, seed);
+    let rec = if metrics_interval_ns > 0 {
+        adapt_obs::MemRecorder::with_metrics(metrics_interval_ns)
+    } else {
+        adapt_obs::MemRecorder::new()
+    };
+    let res = world.with_recorder(Box::new(rec)).run(programs);
+    assert!(
+        res.audit.is_clean(),
+        "{} {:?} {}B (recorded): {}",
+        case.library.label(),
+        case.op,
+        case.msg_bytes,
+        res.audit
+    );
+    res
+}
+
+/// Re-run a case under the **real-configuration equivalent** of a
+/// what-if intervention — the ground truth a counterfactual prediction
+/// is validated against. A recorder is attached so the result carries a
+/// fresh recording for per-rank comparison.
+///
+/// Returns an error for interventions with no real equivalent
+/// (`ScaleLayer` is a virtual-only Coz-style probe) or when a link
+/// pattern matches nothing.
+pub fn run_intervened(
+    case: &CollectiveCase,
+    scope: NoiseScope,
+    noise_percent: f64,
+    seed: u64,
+    iv: &adapt_obs::Intervention,
+    metrics_interval_ns: u64,
+) -> Result<RunResult, String> {
+    use adapt_obs::Intervention;
+    let noise = match iv {
+        Intervention::NoiseOff => ClusterNoise::silent(case.nranks),
+        Intervention::RankNoiseOff(r) => {
+            let mut n = noise_for_case(case, scope, noise_percent, seed);
+            n.silence_rank(*r);
+            n
+        }
+        Intervention::ScaleLayer { .. } => {
+            return Err(
+                "scale-layer is a virtual-only intervention; no real configuration matches it"
+                    .into(),
+            )
+        }
+        // `StallsOff` on a fault-free case, and `Noop`, are the plain run.
+        _ => noise_for_case(case, scope, noise_percent, seed),
+    };
+    let mut world = World::cpu(case.machine.clone(), case.nranks, noise);
+    if let Intervention::ScaleLink { pattern, factor } = iv {
+        let touched = world.prescale_links(*factor, 1.0 / *factor, |label| {
+            label.starts_with(pattern.as_str())
+        });
+        if touched == 0 {
+            return Err(format!("no link label starts with {pattern:?}"));
+        }
+    }
+    let rec = if metrics_interval_ns > 0 {
+        adapt_obs::MemRecorder::with_metrics(metrics_interval_ns)
+    } else {
+        adapt_obs::MemRecorder::new()
+    };
+    let res = world.with_recorder(Box::new(rec)).run(case.programs());
+    assert!(
+        res.audit.is_clean(),
+        "{} {:?} {}B (intervened): {}",
+        case.library.label(),
+        case.op,
+        case.msg_bytes,
+        res.audit
+    );
+    Ok(res)
+}
+
 /// Run a full trial: `repeats` independent worlds, each timing
 /// `iterations` back-to-back operations, reporting per-operation times.
 pub fn run_trial(trial: &Trial) -> TrialResult {

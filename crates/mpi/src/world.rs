@@ -564,6 +564,31 @@ impl World {
         self
     }
 
+    /// Rescale the pristine capacity/latency of every link whose debug
+    /// label (e.g. `NicTx(3)`) matches `pred` — a what-if intervention
+    /// ("what if the NICs were 2× faster?") applied to a real re-run so
+    /// the counterfactual prediction can be validated against ground
+    /// truth. Returns the number of links rescaled.
+    pub fn prescale_links(
+        &mut self,
+        cap_factor: f64,
+        lat_factor: f64,
+        pred: impl Fn(&str) -> bool,
+    ) -> usize {
+        let matching: Vec<u32> = self
+            .net
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| pred(&format!("{:?}", l.class)))
+            .map(|(i, _)| i as u32)
+            .collect();
+        for &l in &matching {
+            self.net.prescale_link(l, cap_factor, lat_factor);
+        }
+        matching.len()
+    }
+
     /// Abort (with a per-rank [`StallDiagnosis`]) instead of hanging when
     /// no event fires for `horizon` of simulated time while ranks are
     /// still unfinished.
@@ -698,6 +723,16 @@ impl World {
                 .map(|l| format!("{:?}", l.class))
                 .collect();
             self.obs.meta(self.nranks(), labels);
+            // Pristine link parameters, so a recording is enough to
+            // rebuild the network for counterfactual replay.
+            let caps = self.net.links().iter().map(|l| l.capacity).collect();
+            let lats = self
+                .net
+                .links()
+                .iter()
+                .map(|l| l.latency.as_nanos())
+                .collect();
+            self.obs.link_params(caps, lats);
         }
         let sample_iv = if self.obs_on {
             self.obs.metrics_interval().unwrap_or(0)
@@ -773,6 +808,37 @@ impl World {
         trace.sort_by_key(|e| e.time_ns);
         let obs = if self.obs_on {
             let finish_ns: Vec<u64> = per_rank_finish.iter().map(|t| t.as_nanos()).collect();
+            // Snapshot per-rank preemption windows for the what-if engine.
+            // The noise stream is deterministic and idempotent, so
+            // generating past the makespan here cannot perturb anything;
+            // the slack lets a slowed-down counterfactual replay keep
+            // stretching work beyond the recorded end.
+            let horizon = Time(
+                makespan
+                    .as_nanos()
+                    .saturating_mul(2)
+                    .saturating_add(200_000_000),
+            );
+            for r in 0..self.nranks() {
+                let noise_w: Vec<(u64, u64)> = self
+                    .noise
+                    .export_windows(r, horizon)
+                    .into_iter()
+                    .map(|(s, e)| (s.as_nanos(), e.as_nanos()))
+                    .collect();
+                let stall_w: Vec<(u64, u64)> = self
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.stalls[r as usize].as_ref())
+                    .map(|s| {
+                        s.windows()
+                            .iter()
+                            .map(|&(s, e)| (s.as_nanos(), e.as_nanos()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                self.obs.rank_windows(r, noise_w, stall_w);
+            }
             self.obs.finish(&finish_ns)
         } else {
             None

@@ -234,6 +234,31 @@ impl Network {
         &self.links
     }
 
+    /// Permanently rescale one link's pristine capacity and latency before
+    /// any flow starts (a what-if intervention applied to a real re-run).
+    /// Unlike [`Network::scale_link`], the *baseline* moves too, so later
+    /// degradation windows scale relative to the intervened values.
+    ///
+    /// # Panics
+    /// Panics if called while flows are active — the rescale would bypass
+    /// the reschedule machinery.
+    pub fn prescale_link(&mut self, link: u32, cap_factor: f64, lat_factor: f64) {
+        assert_eq!(self.active, 0, "prescale_link requires an idle network");
+        assert!(
+            cap_factor > 0.0 && lat_factor > 0.0,
+            "scale factors must be positive"
+        );
+        let l = link as usize;
+        let cap = self.base_links[l].0 * cap_factor;
+        let lat = Duration::from_nanos(
+            (self.base_links[l].1.as_nanos() as f64 * lat_factor).round() as u64,
+        );
+        self.base_links[l] = (cap, lat);
+        self.links[l].capacity = cap;
+        self.links[l].latency = lat;
+        self.link_share[l] = cap;
+    }
+
     /// Number of flows currently in the network (draining or in tail).
     pub fn active_flows(&self) -> usize {
         self.active

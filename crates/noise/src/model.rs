@@ -176,6 +176,18 @@ impl RankNoise {
         self.ensure(until);
         self.windows.stolen_until(until)
     }
+
+    /// Generate windows out to `until` and return every window generated
+    /// so far. The stream is deterministic and idempotent, so exporting
+    /// never perturbs later `defer`/`finish_work` queries — the what-if
+    /// engine relies on this to snapshot the process at run end.
+    pub fn windows_until(&mut self, until: Time) -> Vec<(Time, Time)> {
+        if self.spec.max_duration.is_zero() {
+            return Vec::new();
+        }
+        self.ensure(until);
+        self.windows.windows().to_vec()
+    }
 }
 
 /// Per-rank noise for a whole job. `None` entries are noise-free ranks.
@@ -261,6 +273,21 @@ impl ClusterNoise {
         match &mut self.ranks[rank as usize] {
             Some(n) => n.work_in(start, deadline),
             None => deadline.saturating_since(start),
+        }
+    }
+
+    /// Remove `rank`'s noise process entirely (the "what if this rank had
+    /// no noise" intervention applied to a real re-run).
+    pub fn silence_rank(&mut self, rank: u32) {
+        self.ranks[rank as usize] = None;
+    }
+
+    /// Export `rank`'s preemption windows generated out to `until`
+    /// (empty for a clean rank). See [`RankNoise::windows_until`].
+    pub fn export_windows(&mut self, rank: u32, until: Time) -> Vec<(Time, Time)> {
+        match &mut self.ranks[rank as usize] {
+            Some(n) => n.windows_until(until),
+            None => Vec::new(),
         }
     }
 }

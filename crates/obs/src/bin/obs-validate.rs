@@ -1,17 +1,18 @@
 //! Validate exported observability artifacts (used by CI).
 //!
-//! Usage: `obs-validate <trace.json> [metrics.csv]`
+//! Usage: `obs-validate <trace.json> [metrics.csv] [critical.txt]`
 //!
 //! Exits non-zero with a diagnostic if the Chrome trace fails to parse,
 //! spans on a serial track partially overlap, async begin/end events
-//! don't pair up, or the metrics CSV is malformed.
+//! don't pair up, the metrics CSV is malformed, or the critical-path
+//! report's layer percentages don't sum to 100.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.len() > 2 {
-        eprintln!("usage: obs-validate <trace.json> [metrics.csv]");
+    if args.is_empty() || args.len() > 3 {
+        eprintln!("usage: obs-validate <trace.json> [metrics.csv] [critical.txt]");
         return ExitCode::from(2);
     }
 
@@ -49,6 +50,23 @@ fn main() -> ExitCode {
             Ok(rows) => println!("{csv_path}: OK — {rows} metric rows"),
             Err(e) => {
                 eprintln!("{csv_path}: INVALID — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(report_path) = args.get(2) {
+        let text = match std::fs::read_to_string(report_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("obs-validate: cannot read {report_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match adapt_obs::validate_critical_report(&text) {
+            Ok(sum) => println!("{report_path}: OK — layer percentages sum to {sum:.1}%"),
+            Err(e) => {
+                eprintln!("{report_path}: INVALID — {e}");
                 return ExitCode::FAILURE;
             }
         }

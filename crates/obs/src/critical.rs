@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use crate::record::{FlowClass, ObsData, ProtoKind, Trigger};
 
 /// Which layer of the stack a critical-path segment charges time to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Layer {
     /// Program handler execution (dispatch spans, includes posted
     /// operation overheads and inline synchronous compute).
@@ -124,6 +124,14 @@ impl CriticalPath {
             .collect()
     }
 
+    /// The `k` longest segments, longest first (ties: earliest first).
+    pub fn longest_segments(&self, k: usize) -> Vec<&Segment> {
+        let mut v: Vec<&Segment> = self.segments.iter().collect();
+        v.sort_by_key(|s| (std::cmp::Reverse(s.dur_ns()), s.begin_ns));
+        v.truncate(k);
+        v
+    }
+
     /// Render the report as human-readable text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -149,6 +157,21 @@ impl CriticalPath {
                 ns as f64 / 1000.0,
                 pct
             ));
+        }
+        let top = self.longest_segments(5);
+        if !top.is_empty() {
+            out.push_str(&format!("longest segments (top {}):\n", top.len()));
+            for s in top {
+                out.push_str(&format!(
+                    "  {:>12.3} us  [{:>12.3} .. {:>12.3}]  rank {:<4} {:<9} {}\n",
+                    s.dur_ns() as f64 / 1000.0,
+                    s.begin_ns as f64 / 1000.0,
+                    s.end_ns as f64 / 1000.0,
+                    s.rank,
+                    s.layer.label(),
+                    s.what
+                ));
+            }
         }
         out.push_str("chain (chronological):\n");
         const SHOW: usize = 80;
@@ -548,6 +571,17 @@ mod tests {
         assert!(text.contains("critical path: rank 1"));
         assert!(text.contains("network"));
         assert!(text.contains("callback"));
+    }
+
+    #[test]
+    fn longest_segments_are_sorted_and_reported() {
+        let cp = critical_path(&eager_run());
+        let top = cp.longest_segments(3);
+        assert!(!top.is_empty() && top.len() <= 3);
+        for w in top.windows(2) {
+            assert!(w[0].dur_ns() >= w[1].dur_ns());
+        }
+        assert!(cp.render().contains("longest segments (top"));
     }
 
     #[test]

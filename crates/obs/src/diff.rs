@@ -1,0 +1,401 @@
+//! Run differencing: attribute the makespan delta between two recorded
+//! runs across (layer × rank × phase) buckets with **no unexplained
+//! remainder**.
+//!
+//! Each run's critical path tiles `[0, makespan]` exactly (see
+//! [`critical_path`]), so bucketing every tile by its layer, its rank,
+//! and the collective phase active at its start yields per-run bucket
+//! sums that equal the makespan *by construction*. The difference of two
+//! such decompositions therefore attributes 100% of the makespan delta:
+//! `Σ bucket deltas == makespan_b − makespan_a`, an identity the gate
+//! re-checks at runtime.
+
+use std::collections::HashMap;
+
+use crate::critical::{critical_path, Layer, LAYERS};
+use crate::record::ObsData;
+
+/// One attribution bucket of a run diff.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffBucket {
+    /// Layer charged.
+    pub layer: Layer,
+    /// Rank the time ran on.
+    pub rank: u32,
+    /// Collective phase active when the tile started (`None` outside any
+    /// phase).
+    pub phase: Option<u32>,
+    /// Nanoseconds in run A.
+    pub a_ns: u64,
+    /// Nanoseconds in run B.
+    pub b_ns: u64,
+}
+
+impl DiffBucket {
+    /// B − A for this bucket (negative: B spends less here).
+    pub fn delta_ns(&self) -> i64 {
+        self.b_ns as i64 - self.a_ns as i64
+    }
+}
+
+/// The full diff of two recorded runs.
+#[derive(Clone, Debug, Default)]
+pub struct RunDiff {
+    /// Run A's makespan (ns).
+    pub makespan_a_ns: u64,
+    /// Run B's makespan (ns).
+    pub makespan_b_ns: u64,
+    /// Attribution buckets, largest absolute delta first.
+    pub buckets: Vec<DiffBucket>,
+}
+
+impl RunDiff {
+    /// B − A makespan delta (negative: B is faster).
+    pub fn delta_ns(&self) -> i64 {
+        self.makespan_b_ns as i64 - self.makespan_a_ns as i64
+    }
+
+    /// Sum of all bucket deltas — equals [`delta_ns`](Self::delta_ns)
+    /// by construction (asserted by [`diff_runs`]).
+    pub fn attributed_ns(&self) -> i64 {
+        self.buckets.iter().map(DiffBucket::delta_ns).sum()
+    }
+
+    /// Per-layer rollup `(layer, a_ns, b_ns)`, in [`LAYERS`] order.
+    pub fn by_layer(&self) -> Vec<(Layer, u64, u64)> {
+        LAYERS
+            .iter()
+            .map(|&l| {
+                let (a, b) = self
+                    .buckets
+                    .iter()
+                    .filter(|bk| bk.layer == l)
+                    .fold((0u64, 0u64), |(a, b), bk| (a + bk.a_ns, b + bk.b_ns));
+                (l, a, b)
+            })
+            .collect()
+    }
+
+    /// Per-rank rollup `(rank, a_ns, b_ns)`, sorted by rank.
+    pub fn by_rank(&self) -> Vec<(u32, u64, u64)> {
+        let mut map: HashMap<u32, (u64, u64)> = HashMap::new();
+        for bk in &self.buckets {
+            let e = map.entry(bk.rank).or_default();
+            e.0 += bk.a_ns;
+            e.1 += bk.b_ns;
+        }
+        let mut v: Vec<(u32, u64, u64)> = map.into_iter().map(|(r, (a, b))| (r, a, b)).collect();
+        v.sort_by_key(|&(r, _, _)| r);
+        v
+    }
+
+    /// Per-phase rollup `(phase, a_ns, b_ns)`, sorted with `None` last.
+    pub fn by_phase(&self) -> Vec<(Option<u32>, u64, u64)> {
+        let mut map: HashMap<Option<u32>, (u64, u64)> = HashMap::new();
+        for bk in &self.buckets {
+            let e = map.entry(bk.phase).or_default();
+            e.0 += bk.a_ns;
+            e.1 += bk.b_ns;
+        }
+        let mut v: Vec<(Option<u32>, u64, u64)> =
+            map.into_iter().map(|(p, (a, b))| (p, a, b)).collect();
+        v.sort_by_key(|&(p, _, _)| match p {
+            Some(p) => (0, p),
+            None => (1, 0),
+        });
+        v
+    }
+
+    /// Regression check: is B's makespan more than `pct` percent worse
+    /// than A's? Used by the CI gate.
+    pub fn regression_pct(&self) -> f64 {
+        if self.makespan_a_ns == 0 {
+            return 0.0;
+        }
+        100.0 * (self.makespan_b_ns as f64 - self.makespan_a_ns as f64) / self.makespan_a_ns as f64
+    }
+
+    /// Machine-readable JSON for CI and tooling.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(1024);
+        o.push_str("{\n");
+        o.push_str(&format!("\"makespan_a_ns\":{},\n", self.makespan_a_ns));
+        o.push_str(&format!("\"makespan_b_ns\":{},\n", self.makespan_b_ns));
+        o.push_str(&format!("\"delta_ns\":{},\n", self.delta_ns()));
+        o.push_str(&format!("\"attributed_ns\":{},\n", self.attributed_ns()));
+        o.push_str(&format!(
+            "\"regression_pct\":{:?},\n",
+            self.regression_pct()
+        ));
+        o.push_str("\"buckets\":[");
+        for (i, bk) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let phase = match bk.phase {
+                Some(p) => p.to_string(),
+                None => "null".into(),
+            };
+            o.push_str(&format!(
+                "\n{{\"layer\":\"{}\",\"rank\":{},\"phase\":{},\"a_ns\":{},\"b_ns\":{},\
+                 \"delta_ns\":{}}}",
+                bk.layer.label(),
+                bk.rank,
+                phase,
+                bk.a_ns,
+                bk.b_ns,
+                bk.delta_ns()
+            ));
+        }
+        o.push_str("],\n\"by_layer\":[");
+        let mut first = true;
+        for (l, a, b) in self.by_layer() {
+            if a == 0 && b == 0 {
+                continue;
+            }
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            o.push_str(&format!(
+                "\n{{\"layer\":\"{}\",\"a_ns\":{a},\"b_ns\":{b},\"delta_ns\":{}}}",
+                l.label(),
+                b as i64 - a as i64
+            ));
+        }
+        o.push_str("]\n}\n");
+        o
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut o = String::new();
+        let us = |ns: u64| ns as f64 / 1000.0;
+        o.push_str(&format!(
+            "run diff: A {:.3} us -> B {:.3} us  (delta {:+.3} us, {:+.2}%)\n",
+            us(self.makespan_a_ns),
+            us(self.makespan_b_ns),
+            self.delta_ns() as f64 / 1000.0,
+            self.regression_pct()
+        ));
+        o.push_str("per-layer attribution (critical-path time):\n");
+        for (l, a, b) in self.by_layer() {
+            if a == 0 && b == 0 {
+                continue;
+            }
+            o.push_str(&format!(
+                "  {:<9} {:>12.3} -> {:>12.3} us  ({:+.3} us)\n",
+                l.label(),
+                us(a),
+                us(b),
+                (b as i64 - a as i64) as f64 / 1000.0
+            ));
+        }
+        let ranks = self.by_rank();
+        if ranks.len() > 1 {
+            o.push_str("per-rank attribution:\n");
+            for (r, a, b) in ranks {
+                o.push_str(&format!(
+                    "  rank {:<4} {:>12.3} -> {:>12.3} us  ({:+.3} us)\n",
+                    r,
+                    us(a),
+                    us(b),
+                    (b as i64 - a as i64) as f64 / 1000.0
+                ));
+            }
+        }
+        let phases = self.by_phase();
+        if phases.iter().any(|&(p, _, _)| p.is_some()) {
+            o.push_str("per-phase attribution:\n");
+            for (p, a, b) in phases {
+                let label = match p {
+                    Some(p) => format!("phase {p}"),
+                    None => "(no phase)".into(),
+                };
+                o.push_str(&format!(
+                    "  {:<10} {:>12.3} -> {:>12.3} us  ({:+.3} us)\n",
+                    label,
+                    us(a),
+                    us(b),
+                    (b as i64 - a as i64) as f64 / 1000.0
+                ));
+            }
+        }
+        o.push_str("top contributing buckets:\n");
+        for bk in self.buckets.iter().filter(|b| b.delta_ns() != 0).take(10) {
+            let phase = match bk.phase {
+                Some(p) => format!("phase {p}"),
+                None => "-".into(),
+            };
+            o.push_str(&format!(
+                "  {:<9} rank {:<4} {:<8} {:+12.3} us\n",
+                bk.layer.label(),
+                bk.rank,
+                phase,
+                bk.delta_ns() as f64 / 1000.0
+            ));
+        }
+        let unattributed = self.delta_ns() - self.attributed_ns();
+        o.push_str(&format!(
+            "attributed: {} of {} ns delta ({} ns unexplained)\n",
+            self.attributed_ns(),
+            self.delta_ns(),
+            unattributed
+        ));
+        o
+    }
+}
+
+/// Per-rank phase intervals for bucketing: which phase is active at `t`.
+struct PhaseIndex {
+    /// Per rank: `(t_ns, phase_or_none)` state changes, sorted by time.
+    marks: Vec<Vec<(u64, Option<u32>)>>,
+}
+
+impl PhaseIndex {
+    fn build(data: &ObsData) -> PhaseIndex {
+        let nranks = data.nranks.max(data.per_rank_finish_ns.len() as u32) as usize;
+        let mut marks: Vec<Vec<(u64, Option<u32>)>> = vec![Vec::new(); nranks];
+        let mut ordered: Vec<&crate::record::PhaseRec> = data.phases.iter().collect();
+        ordered.sort_by_key(|p| (p.t_ns, !p.begin));
+        for p in ordered {
+            if (p.rank as usize) < nranks {
+                let state = if p.begin { Some(p.phase) } else { None };
+                marks[p.rank as usize].push((p.t_ns, state));
+            }
+        }
+        PhaseIndex { marks }
+    }
+
+    fn at(&self, rank: u32, t_ns: u64) -> Option<u32> {
+        let marks = self.marks.get(rank as usize)?;
+        let i = marks.partition_point(|&(t, _)| t <= t_ns);
+        if i == 0 {
+            None
+        } else {
+            marks[i - 1].1
+        }
+    }
+}
+
+/// A diff bucket key: layer, rank, active phase.
+type BucketKey = (Layer, u32, Option<u32>);
+
+fn bucketize(data: &ObsData) -> (u64, HashMap<BucketKey, u64>) {
+    let cp = critical_path(data);
+    let phases = PhaseIndex::build(data);
+    let mut buckets: HashMap<BucketKey, u64> = HashMap::new();
+    for s in &cp.segments {
+        let phase = phases.at(s.rank, s.begin_ns);
+        *buckets.entry((s.layer, s.rank, phase)).or_default() += s.dur_ns();
+    }
+    (cp.makespan_ns, buckets)
+}
+
+/// Diff two recorded runs. The returned buckets attribute the entire
+/// makespan delta: `Σ delta == makespan_b − makespan_a`, always.
+pub fn diff_runs(a: &ObsData, b: &ObsData) -> RunDiff {
+    let (ma, ba) = bucketize(a);
+    let (mb, bb) = bucketize(b);
+    let mut keys: Vec<(Layer, u32, Option<u32>)> = ba.keys().chain(bb.keys()).copied().collect();
+    keys.sort_by_key(|&(l, r, p)| (l, r, p.map_or(u64::MAX, u64::from)));
+    keys.dedup();
+    let mut buckets: Vec<DiffBucket> = keys
+        .into_iter()
+        .map(|(layer, rank, phase)| DiffBucket {
+            layer,
+            rank,
+            phase,
+            a_ns: ba.get(&(layer, rank, phase)).copied().unwrap_or(0),
+            b_ns: bb.get(&(layer, rank, phase)).copied().unwrap_or(0),
+        })
+        .collect();
+    buckets.sort_by_key(|bk| std::cmp::Reverse(bk.delta_ns().unsigned_abs()));
+    let diff = RunDiff {
+        makespan_a_ns: ma,
+        makespan_b_ns: mb,
+        buckets,
+    };
+    debug_assert_eq!(
+        diff.attributed_ns(),
+        diff.delta_ns(),
+        "critical-path tiling must attribute the whole delta"
+    );
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DispatchSpan, PhaseRec, Trigger};
+
+    fn run(ns: u64) -> ObsData {
+        let mut d = ObsData {
+            nranks: 1,
+            per_rank_finish_ns: vec![ns],
+            ..ObsData::default()
+        };
+        d.dispatches.push(DispatchSpan {
+            rank: 0,
+            begin_ns: 0,
+            end_ns: ns,
+            trigger: Trigger::Start,
+        });
+        d.phases.push(PhaseRec {
+            rank: 0,
+            phase: 0,
+            begin: true,
+            t_ns: 0,
+        });
+        d.phases.push(PhaseRec {
+            rank: 0,
+            phase: 0,
+            begin: false,
+            t_ns: ns,
+        });
+        d
+    }
+
+    #[test]
+    fn self_diff_is_all_zero() {
+        let a = run(1000);
+        let d = diff_runs(&a, &a);
+        assert_eq!(d.delta_ns(), 0);
+        assert_eq!(d.attributed_ns(), 0);
+        assert!(d.buckets.iter().all(|b| b.delta_ns() == 0));
+        assert_eq!(d.regression_pct(), 0.0);
+    }
+
+    #[test]
+    fn attribution_covers_the_whole_delta() {
+        let a = run(1000);
+        let b = run(1500);
+        let d = diff_runs(&a, &b);
+        assert_eq!(d.delta_ns(), 500);
+        assert_eq!(d.attributed_ns(), 500);
+        assert!((d.regression_pct() - 50.0).abs() < 1e-9);
+        // The callback bucket carries it, inside phase 0.
+        let bk = &d.buckets[0];
+        assert_eq!(bk.layer, Layer::Callback);
+        assert_eq!(bk.phase, Some(0));
+        assert_eq!(bk.delta_ns(), 500);
+    }
+
+    #[test]
+    fn json_exposes_the_gate_fields() {
+        let d = diff_runs(&run(1000), &run(1100));
+        let text = d.to_json();
+        let doc = crate::validate::parse_json(&text).unwrap();
+        assert_eq!(doc.get("delta_ns").unwrap().as_num(), Some(100.0));
+        assert_eq!(doc.get("attributed_ns").unwrap().as_num(), Some(100.0));
+        let pct = doc.get("regression_pct").unwrap().as_num().unwrap();
+        assert!((pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_reports_full_attribution() {
+        let d = diff_runs(&run(1000), &run(900));
+        let text = d.render();
+        assert!(text.contains("0 ns unexplained"), "{text}");
+    }
+}

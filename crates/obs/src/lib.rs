@@ -21,6 +21,13 @@
 //!   causality backwards from the last completing rank and attributes
 //!   the makespan to layers (network, matching, protocol, callbacks,
 //!   compute, blocked waiting).
+//! * **What-if engine** — [`predict`] replays a recording under a
+//!   virtual [`Intervention`] (noise removal, link rescale, Coz-style
+//!   per-layer speedup) and predicts the counterfactual makespan;
+//!   [`diff_runs`] attributes the makespan delta between two recordings
+//!   across (layer × rank × phase) with no unexplained remainder. Both
+//!   are exposed through the `obs-whatif` binary; recordings travel as
+//!   JSON via [`to_json`]/[`from_json`].
 //!
 //! The runtime talks to the layer through the [`Recorder`] trait. The
 //! default [`NullRecorder`] compiles every probe down to a single
@@ -31,17 +38,28 @@
 
 mod chrome;
 mod critical;
+mod diff;
+mod json;
 mod metrics;
 mod record;
 mod recorder;
+mod report;
 mod validate;
+mod whatif;
 
 pub use chrome::chrome_trace;
-pub use critical::{critical_path, CriticalPath, Layer, Segment};
-pub use metrics::metrics_csv;
+pub use critical::{critical_path, CriticalPath, Layer, Segment, LAYERS};
+pub use diff::{diff_runs, DiffBucket, RunDiff};
+pub use json::{from_json, to_json, FORMAT};
+pub use metrics::{metrics_csv, FLOW_CLASSES};
 pub use record::{
     ComputeRec, DispatchSpan, FlowClass, FlowRec, GaugeMetric, GaugeRec, MsgRec, ObsData, PhaseRec,
     ProtoKind, ProtoSpan, Trigger,
 };
 pub use recorder::{FlowStart, MemRecorder, MsgEvent, NullRecorder, Recorder};
-pub use validate::{parse_json, validate_chrome, validate_metrics_csv, ChromeSummary, Json};
+pub use report::{render_prediction, render_sweep, render_validation, speedup_sweep, SweepRow};
+pub use validate::{
+    parse_json, validate_chrome, validate_critical_report, validate_metrics_csv, ChromeSummary,
+    Json,
+};
+pub use whatif::{parse_layer, predict, Intervention, Prediction};

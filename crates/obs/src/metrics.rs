@@ -3,18 +3,40 @@
 //! One row per sample: `time_ns,metric,index,value`. The rows come out
 //! in recording order (time-major, metric order fixed by the sampler),
 //! so the file is byte-identical across runs of the same configuration.
+//! After the samples, one summary block: per-flow-class duration
+//! percentiles (`flow_dur_p50`/`p90`/`p99`, indexed by class) stamped at
+//! end-of-run, keeping the time column non-decreasing.
 
 use crate::chrome::fmt_num;
-use crate::record::ObsData;
+use crate::record::{FlowClass, ObsData};
 
 /// Header row of the metrics CSV.
 pub const CSV_HEADER: &str = "time_ns,metric,index,value";
+
+/// Flow classes in summary-row order; a class's position is its `index`
+/// in the `flow_dur_*` rows.
+pub const FLOW_CLASSES: [FlowClass; 6] = [
+    FlowClass::Rts,
+    FlowClass::Cts,
+    FlowClass::Eager,
+    FlowClass::Rndv,
+    FlowClass::Copy,
+    FlowClass::Ack,
+];
+
+/// Nearest-rank percentile of a sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
 
 /// Render the recorded gauges as a CSV document.
 pub fn metrics_csv(data: &ObsData) -> String {
     let mut out = String::with_capacity(32 + data.gauges.len() * 32);
     out.push_str(CSV_HEADER);
     out.push('\n');
+    let mut t_end = data.makespan_ns();
     for g in &data.gauges {
         out.push_str(&format!(
             "{},{},{},{}\n",
@@ -23,6 +45,30 @@ pub fn metrics_csv(data: &ObsData) -> String {
             g.index,
             fmt_num(g.value)
         ));
+        t_end = t_end.max(g.t_ns);
+    }
+    // Duration histograms: launch-to-completion per flow class.
+    for (index, class) in FLOW_CLASSES.iter().enumerate() {
+        let mut durs: Vec<u64> = data
+            .flows
+            .iter()
+            .filter(|f| f.class == *class)
+            .filter_map(|f| Some(f.delivered_ns.or(f.drained_ns)? - f.launch_ns))
+            .collect();
+        if durs.is_empty() {
+            continue;
+        }
+        durs.sort_unstable();
+        for (name, q) in [
+            ("flow_dur_p50", 50.0),
+            ("flow_dur_p90", 90.0),
+            ("flow_dur_p99", 99.0),
+        ] {
+            out.push_str(&format!(
+                "{t_end},{name},{index},{}\n",
+                fmt_num(percentile(&durs, q) as f64)
+            ));
+        }
     }
     out
 }
@@ -53,5 +99,51 @@ mod tests {
             "time_ns,metric,index,value\n0,posted_depth,0,3\n10000,link_util,7,0.125000\n"
         );
         crate::validate::validate_metrics_csv(&csv).unwrap();
+    }
+
+    #[test]
+    fn flow_duration_percentiles_ride_at_end_of_run() {
+        use crate::record::{FlowClass, FlowRec};
+        let mut data = ObsData {
+            per_rank_finish_ns: vec![1000],
+            ..ObsData::default()
+        };
+        for (i, dur) in [100u64, 200, 300, 400].iter().enumerate() {
+            data.flows.push(FlowRec {
+                class: FlowClass::Eager,
+                msg: Some(i as u64),
+                rank: 0,
+                token: 0,
+                bytes: 64,
+                links: vec![0],
+                launch_ns: 10,
+                drained_ns: Some(10 + dur / 2),
+                delivered_ns: Some(10 + dur),
+            });
+        }
+        let csv = metrics_csv(&data);
+        let eager = FLOW_CLASSES
+            .iter()
+            .position(|c| *c == FlowClass::Eager)
+            .unwrap();
+        // Nearest-rank percentiles of [100,200,300,400], stamped at the
+        // makespan so the time column stays non-decreasing.
+        assert!(
+            csv.contains(&format!("1000,flow_dur_p50,{eager},200\n")),
+            "{csv}"
+        );
+        assert!(csv.contains(&format!("1000,flow_dur_p90,{eager},400\n")));
+        assert!(csv.contains(&format!("1000,flow_dur_p99,{eager},400\n")));
+        // Absent classes emit no rows.
+        assert!(!csv.contains("flow_dur_p50,0,"));
+        crate::validate::validate_metrics_csv(&csv).unwrap();
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[5], 50.0), 5);
+        assert_eq!(percentile(&[1, 2, 3, 4, 5], 50.0), 3);
+        assert_eq!(percentile(&[1, 2, 3, 4, 5], 99.0), 5);
+        assert_eq!(percentile(&[1, 2], 10.0), 1);
     }
 }

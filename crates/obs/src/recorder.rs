@@ -77,6 +77,14 @@ pub trait Recorder {
     }
     /// Job shape, reported once at run start.
     fn meta(&mut self, _nranks: u32, _link_labels: Vec<String>) {}
+    /// Pristine link parameters (capacity bytes/sec, latency ns per
+    /// link id), reported once at run start. Feeds counterfactual
+    /// network replay in the what-if engine.
+    fn link_params(&mut self, _caps: Vec<f64>, _lat_ns: Vec<u64>) {}
+    /// One rank's preemption windows, reported once at run end: OS-noise
+    /// windows (generated past the makespan) and injected stall windows,
+    /// both sorted and non-overlapping.
+    fn rank_windows(&mut self, _rank: u32, _noise: Vec<(u64, u64)>, _stalls: Vec<(u64, u64)>) {}
     /// A send was posted (creates message id `_msg`).
     #[allow(clippy::too_many_arguments)] // mirrors the send signature
     fn msg_posted(
@@ -173,6 +181,21 @@ impl Recorder for MemRecorder {
         self.data.nranks = nranks;
         self.data.link_labels = link_labels;
         self.data.metrics_interval_ns = self.interval_ns.unwrap_or(0);
+    }
+
+    fn link_params(&mut self, caps: Vec<f64>, lat_ns: Vec<u64>) {
+        self.data.link_caps = caps;
+        self.data.link_lat_ns = lat_ns;
+    }
+
+    fn rank_windows(&mut self, rank: u32, noise: Vec<(u64, u64)>, stalls: Vec<(u64, u64)>) {
+        let i = rank as usize;
+        if self.data.noise_windows.len() <= i {
+            self.data.noise_windows.resize(i + 1, Vec::new());
+            self.data.stall_windows.resize(i + 1, Vec::new());
+        }
+        self.data.noise_windows[i] = noise;
+        self.data.stall_windows[i] = stalls;
     }
 
     fn msg_posted(

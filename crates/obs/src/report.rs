@@ -1,0 +1,148 @@
+//! Human-readable reports for the what-if engine: single predictions,
+//! predicted-vs-actual validation, and Coz-style per-layer
+//! virtual-speedup sweeps.
+
+use crate::critical::{Layer, LAYERS};
+use crate::record::ObsData;
+use crate::whatif::{predict, Intervention, Prediction};
+
+/// Render one prediction.
+pub fn render_prediction(iv: &Intervention, p: &Prediction) -> String {
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let mut o = String::new();
+    o.push_str(&format!("intervention: {}\n", iv.describe()));
+    o.push_str(&format!(
+        "recorded makespan:  {:>14.3} us\n",
+        us(p.baseline_ns)
+    ));
+    o.push_str(&format!(
+        "predicted makespan: {:>14.3} us  ({:+.3} us, speedup x{:.4})\n",
+        us(p.predicted_ns),
+        p.delta_ns() as f64 / 1000.0,
+        p.speedup()
+    ));
+    o
+}
+
+/// Render a prediction against the ground-truth makespan of an actual
+/// re-run under the equivalent real configuration.
+pub fn render_validation(iv: &Intervention, p: &Prediction, actual_ns: u64) -> String {
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let err_ns = p.predicted_ns as i64 - actual_ns as i64;
+    let err_pct = if actual_ns > 0 {
+        100.0 * err_ns as f64 / actual_ns as f64
+    } else {
+        0.0
+    };
+    let mut o = render_prediction(iv, p);
+    o.push_str(&format!("actual makespan:    {:>14.3} us\n", us(actual_ns)));
+    o.push_str(&format!(
+        "prediction error:   {err_ns:+} ns ({err_pct:+.4}%)\n"
+    ));
+    o
+}
+
+/// One row of a virtual-speedup sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// The layer virtually sped up.
+    pub layer: Layer,
+    /// Virtual speedup percent applied (durations × (1 − pct/100)).
+    pub pct: f64,
+    /// Predicted makespan (`None` when the replay refused, e.g. a
+    /// structural divergence under this scaling).
+    pub predicted_ns: Option<u64>,
+}
+
+/// Coz-style causal profile: predict the makespan with each layer's
+/// durations virtually reduced by each of `pcts` percent. `Blocked` is
+/// derived waiting and is skipped.
+pub fn speedup_sweep(data: &ObsData, pcts: &[f64]) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for &layer in LAYERS.iter().filter(|&&l| l != Layer::Blocked) {
+        for &pct in pcts {
+            let iv = Intervention::ScaleLayer {
+                layer,
+                factor: 1.0 - pct / 100.0,
+            };
+            rows.push(SweepRow {
+                layer,
+                pct,
+                predicted_ns: predict(data, &iv).ok().map(|p| p.predicted_ns),
+            });
+        }
+    }
+    rows
+}
+
+/// Render a sweep as a table: one line per layer, one column per
+/// percentage, each cell the predicted makespan change in percent.
+pub fn render_sweep(data: &ObsData, rows: &[SweepRow]) -> String {
+    let baseline = data.makespan_ns();
+    let mut pcts: Vec<f64> = rows.iter().map(|r| r.pct).collect();
+    pcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    pcts.dedup();
+    let mut o = String::new();
+    o.push_str(&format!(
+        "virtual-speedup sweep (baseline {:.3} us); cells: predicted makespan change\n",
+        baseline as f64 / 1000.0
+    ));
+    o.push_str(&format!("  {:<9}", "layer"));
+    for p in &pcts {
+        o.push_str(&format!(" {:>9}", format!("-{p}%")));
+    }
+    o.push('\n');
+    for &layer in LAYERS.iter().filter(|&&l| l != Layer::Blocked) {
+        let layer_rows: Vec<&SweepRow> = rows.iter().filter(|r| r.layer == layer).collect();
+        if layer_rows.is_empty() {
+            continue;
+        }
+        o.push_str(&format!("  {:<9}", layer.label()));
+        for p in &pcts {
+            let cell = layer_rows
+                .iter()
+                .find(|r| r.pct == *p)
+                .and_then(|r| r.predicted_ns);
+            match cell {
+                Some(ns) if baseline > 0 => {
+                    let change = 100.0 * (ns as f64 - baseline as f64) / baseline as f64;
+                    o.push_str(&format!(" {change:>8.2}%"));
+                }
+                Some(_) => o.push_str(&format!(" {:>9}", "-")),
+                None => o.push_str(&format!(" {:>9}", "n/a")),
+            }
+        }
+        o.push('\n');
+    }
+    o.push_str(
+        "(a layer whose column barely moves is off the critical path; spending\n effort there cannot speed the run up — the Coz argument, applied to spans)\n",
+    );
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_reports_zero_error_when_exact() {
+        let p = Prediction {
+            baseline_ns: 1000,
+            predicted_ns: 900,
+            per_rank_finish_ns: vec![900],
+        };
+        let text = render_validation(&Intervention::NoiseOff, &p, 900);
+        assert!(text.contains("prediction error:   +0 ns"), "{text}");
+    }
+
+    #[test]
+    fn sweep_rows_cover_every_scalable_layer() {
+        let data = ObsData::default();
+        let rows = speedup_sweep(&data, &[20.0]);
+        assert_eq!(rows.len(), LAYERS.len() - 1);
+        assert!(rows.iter().all(|r| r.layer != Layer::Blocked));
+        // Empty recording: every prediction refused, rendered as n/a.
+        let text = render_sweep(&data, &rows);
+        assert!(text.contains("n/a"));
+    }
+}

@@ -478,6 +478,46 @@ pub fn validate_metrics_csv(text: &str) -> Result<usize, String> {
     Ok(rows)
 }
 
+/// Validate a rendered critical-path report (see
+/// [`CriticalPath::render`](crate::critical::CriticalPath::render)): the
+/// layer-attribution percentages must sum to 100 within the per-line
+/// rounding tolerance (each line prints one decimal place). Returns the
+/// sum on success.
+pub fn validate_critical_report(text: &str) -> Result<f64, String> {
+    let mut in_attr = false;
+    let mut sum = 0.0;
+    let mut lines = 0usize;
+    for line in text.lines() {
+        if line.starts_with("layer attribution:") {
+            in_attr = true;
+            continue;
+        }
+        if !in_attr {
+            continue;
+        }
+        // Attribution lines end with a percentage; the first line that
+        // doesn't (the next section header) ends the block.
+        let Some(pct) = line.trim_end().strip_suffix('%') else {
+            break;
+        };
+        let tok = pct.rsplit(' ').next().unwrap_or("");
+        sum += tok
+            .parse::<f64>()
+            .map_err(|_| format!("bad attribution line {line:?}"))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("no layer-attribution lines found".into());
+    }
+    let tolerance = 0.05 * lines as f64 + 1e-9;
+    if (sum - 100.0).abs() > tolerance {
+        return Err(format!(
+            "layer percentages sum to {sum:.2}%, not 100% (±{tolerance:.2})"
+        ));
+    }
+    Ok(sum)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,5 +588,37 @@ mod tests {
         assert!(validate_metrics_csv("nope\n").is_err());
         assert!(validate_metrics_csv("time_ns,metric,index,value\n5,x,0,1\n2,x,0,1\n").is_err());
         assert!(validate_metrics_csv("time_ns,metric,index,value\n0,x,0\n").is_err());
+    }
+
+    #[test]
+    fn critical_report_percentages_must_sum_to_100() {
+        let good = "critical path: rank 1 finished last at 0.300 us; 4 segments\n\
+                    layer attribution:\n\
+                    \x20 callback        0.180 us   60.0%\n\
+                    \x20 network         0.120 us   40.0%\n\
+                    chain (chronological):\n";
+        assert!((validate_critical_report(good).unwrap() - 100.0).abs() < 0.2);
+        let bad = good.replace("60.0%", "45.0%");
+        assert!(validate_critical_report(&bad)
+            .unwrap_err()
+            .contains("not 100%"));
+        assert!(validate_critical_report("no report here\n").is_err());
+    }
+
+    #[test]
+    fn critical_report_check_accepts_a_real_render() {
+        let data = crate::record::ObsData {
+            nranks: 1,
+            per_rank_finish_ns: vec![100],
+            dispatches: vec![crate::record::DispatchSpan {
+                rank: 0,
+                begin_ns: 0,
+                end_ns: 100,
+                trigger: crate::record::Trigger::Start,
+            }],
+            ..Default::default()
+        };
+        let text = crate::critical::critical_path(&data).render();
+        validate_critical_report(&text).unwrap();
     }
 }

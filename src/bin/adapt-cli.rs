@@ -3,13 +3,17 @@
 //! ```text
 //! adapt-cli --machine cori --nodes 8 --op bcast --lib adapt --msg 4194304 --noise 10 --seed 3
 //! adapt-cli --machine psg --nodes 4 --op reduce --lib adapt --msg 33554432 --gpu
+//! adapt-cli --machine mini --obs-out run.json --whatif noise-off,scale-link=NicTx:2
 //! adapt-sim --op allreduce --nodes 4 --msg 1048576
 //! ```
 
 use adapt::collectives::{
-    run_once_scoped, world_for_case, CollectiveCase, Library, NoiseScope, OpKind,
+    run_intervened, run_once_scoped, world_for_case, CollectiveCase, Library, NoiseScope, OpKind,
 };
-use adapt::obs::{chrome_trace, critical_path, metrics_csv, MemRecorder};
+use adapt::obs::{
+    chrome_trace, critical_path, diff_runs, from_json, metrics_csv, predict, render_prediction,
+    render_validation, to_json, Intervention, MemRecorder, ObsData,
+};
 use adapt::prelude::*;
 
 /// Exit code when the progress watchdog (or a dry event queue) cuts a
@@ -17,13 +21,100 @@ use adapt::prelude::*;
 /// argument errors and panics.
 const EXIT_STALLED: i32 = 3;
 
+/// Every flag the CLI understands: `(name, value placeholder, help)`.
+/// An empty placeholder marks a boolean flag. The usage string is
+/// generated from this table, and [`arg`]/[`flag`] refuse names that are
+/// not in it — a flag cannot be parsed without appearing in the usage.
+const FLAGS: &[(&str, &str, &str)] = &[
+    (
+        "machine",
+        "cori|stampede2|psg|mini",
+        "machine profile (default mini)",
+    ),
+    ("nodes", "N", "node count (default 4)"),
+    (
+        "op",
+        "bcast|reduce|allreduce|allgather|alltoall|scan|scatter|gather|barrier",
+        "collective operation (default bcast)",
+    ),
+    (
+        "lib",
+        "adapt|default|default-topo|intel|cray|mvapich",
+        "library preset (default adapt)",
+    ),
+    ("msg", "BYTES", "message size (default 4 MiB)"),
+    ("noise", "PCT", "noise intensity percent (default 0)"),
+    ("seed", "S", "master seed (default 1)"),
+    ("gpu", "", "run the GPU path (bcast/reduce only)"),
+    ("trace", "FILE.csv", "write the event trace as CSV"),
+    ("describe", "", "print the machine topology and exit"),
+    (
+        "trace-out",
+        "FILE.json",
+        "write a Chrome trace from a recorded run",
+    ),
+    ("metrics-out", "FILE.csv", "write time-series metrics CSV"),
+    (
+        "metrics-interval",
+        "NS",
+        "gauge sampling interval (default 10000)",
+    ),
+    ("critical-path", "", "print the critical-path report"),
+    (
+        "obs-out",
+        "FILE.json",
+        "export the full recording (adapt-obs-v1 JSON)",
+    ),
+    (
+        "whatif",
+        "SPEC[,SPEC...]",
+        "predict interventions (noop|noise-off|rank-noise-off=R|stalls-off|\
+scale-link=PAT:F|scale-layer=LAYER:F|speedup=LAYER:PCT); validated by re-run when possible",
+    ),
+    (
+        "diff-against",
+        "FILE.json",
+        "diff this run against a baseline recording",
+    ),
+    (
+        "faults",
+        "loss=P,rto=DUR,retries=N,jitter=F,stall=R:S-E,down=S-E,degrade=F:S-E",
+        "fault-injection plan",
+    ),
+    ("watchdog-horizon", "DUR", "abort if no progress for DUR"),
+    ("help", "", "print this usage"),
+];
+
+fn usage() -> String {
+    let mut o = String::from("usage: adapt-cli [flags]\n");
+    for (name, value, help) in FLAGS {
+        let left = if value.is_empty() {
+            format!("--{name}")
+        } else {
+            format!("--{name} {value}")
+        };
+        if left.len() > 38 {
+            o.push_str(&format!("  {left}\n  {:38}  {help}\n", ""));
+        } else {
+            o.push_str(&format!("  {left:38}  {help}\n"));
+        }
+    }
+    o
+}
+
+fn known(key: &str) -> bool {
+    FLAGS.iter().any(|&(name, _, _)| name == key)
+}
+
 fn arg(args: &[String], key: &str) -> Option<String> {
+    assert!(known(key), "flag --{key} is missing from the FLAGS table");
     args.iter()
         .position(|a| a == &format!("--{key}"))
         .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn flag(args: &[String], key: &str) -> bool {
+    assert!(known(key), "flag --{key} is missing from the FLAGS table");
     args.iter().any(|a| a == &format!("--{key}"))
 }
 
@@ -82,6 +173,67 @@ impl ObsArgs {
         }
         if self.critical {
             print!("{}", critical_path(obs).render());
+        }
+    }
+}
+
+/// What-if flags: recording export, counterfactual predictions, and
+/// baseline differencing. All three force a recorded run.
+struct WhatIfArgs {
+    ivs: Vec<Intervention>,
+    diff_against: Option<String>,
+    obs_out: Option<String>,
+}
+
+impl WhatIfArgs {
+    fn parse(args: &[String]) -> WhatIfArgs {
+        WhatIfArgs {
+            ivs: arg(args, "whatif")
+                .map(|list| {
+                    list.split(',')
+                        .map(|s| {
+                            Intervention::parse(s.trim())
+                                .unwrap_or_else(|e| panic!("--whatif {s}: {e}"))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            diff_against: arg(args, "diff-against"),
+            obs_out: arg(args, "obs-out"),
+        }
+    }
+
+    fn wanted(&self) -> bool {
+        !self.ivs.is_empty() || self.diff_against.is_some() || self.obs_out.is_some()
+    }
+
+    /// Emit everything what-if-related from a recorded run. `rerun`
+    /// produces the ground-truth makespan of the equivalent real
+    /// configuration, or `None` when the intervention is virtual-only
+    /// (then the prediction prints without a validation line).
+    fn emit(&self, obs: &ObsData, rerun: &dyn Fn(&Intervention) -> Option<u64>) {
+        if let Some(path) = &self.obs_out {
+            std::fs::write(path, to_json(obs)).expect("write recording");
+            println!(
+                "  recording: {} msgs, {} dispatches -> {path}",
+                obs.msgs.len(),
+                obs.dispatches.len()
+            );
+        }
+        for iv in &self.ivs {
+            match predict(obs, iv) {
+                Ok(p) => match rerun(iv) {
+                    Some(actual) => print!("{}", render_validation(iv, &p, actual)),
+                    None => print!("{}", render_prediction(iv, &p)),
+                },
+                Err(e) => println!("whatif {}: refused — {e}", iv.describe()),
+            }
+        }
+        if let Some(base) = &self.diff_against {
+            let text = std::fs::read_to_string(base)
+                .unwrap_or_else(|e| panic!("--diff-against {base}: {e}"));
+            let a = from_json(&text).unwrap_or_else(|e| panic!("--diff-against {base}: {e}"));
+            print!("{}", diff_runs(&a, obs).render());
         }
     }
 }
@@ -145,15 +297,7 @@ impl FaultArgs {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if flag(&args, "help") || args.is_empty() {
-        eprintln!(
-            "usage: adapt-cli [--machine cori|stampede2|psg|mini] [--nodes N] \
-             [--op bcast|reduce|allreduce|allgather|alltoall|scan|scatter|gather|barrier] \
-             [--lib adapt|default|default-topo|intel|cray|mvapich] \
-             [--msg BYTES] [--noise PCT] [--seed S] [--gpu] [--trace FILE.csv] [--describe] \
-             [--trace-out FILE.json] [--metrics-out FILE.csv] [--metrics-interval NS] \
-             [--critical-path] [--faults loss=P,rto=DUR,retries=N,jitter=F,stall=R:S-E,\
-down=S-E,degrade=F:S-E] [--watchdog-horizon DUR]"
-        );
+        eprint!("{}", usage());
         return;
     }
     let nodes: u32 = arg(&args, "nodes")
@@ -179,11 +323,16 @@ down=S-E,degrade=F:S-E] [--watchdog-horizon DUR]"
     let op = arg(&args, "op").unwrap_or_else(|| "bcast".into());
     let lib = arg(&args, "lib").unwrap_or_else(|| "adapt".into());
     let faults = FaultArgs::parse(&args, seed);
+    let whatif = WhatIfArgs::parse(&args);
 
     if gpu {
         assert!(
             !faults.active(),
             "--faults/--watchdog-horizon run on the CPU path; drop --gpu"
+        );
+        assert!(
+            !whatif.wanted(),
+            "--whatif/--diff-against/--obs-out run on the CPU path"
         );
         let library = match lib.as_str() {
             "adapt" => GpuLibrary::OmpiAdapt,
@@ -279,7 +428,7 @@ down=S-E,degrade=F:S-E] [--watchdog-horizon DUR]"
             };
             let obs = ObsArgs::parse(&args);
             let mut world = World::cpu(machine, nranks, noise_model);
-            if obs.wanted() {
+            if obs.wanted() || whatif.wanted() {
                 world = world.with_recorder(Box::new(obs.recorder()));
             }
             let res = faults.run(world, programs);
@@ -292,6 +441,12 @@ down=S-E,degrade=F:S-E] [--watchdog-horizon DUR]"
             println!("  {}", res.audit);
             if obs.wanted() {
                 obs.emit(&res);
+            }
+            if whatif.wanted() {
+                // No runner-level re-run path for spec-built programs:
+                // predictions print without a ground-truth line.
+                let data = res.obs.as_ref().expect("recorder attached");
+                whatif.emit(data, &|_| None);
             }
             return;
         }
@@ -337,7 +492,7 @@ down=S-E,degrade=F:S-E] [--watchdog-horizon DUR]"
         return;
     }
     let obs = ObsArgs::parse(&args);
-    if obs.wanted() {
+    if obs.wanted() || whatif.wanted() {
         // Recorded run: same world and programs as run_once_scoped, with a
         // recorder attached. Results are identical either way — recording
         // never perturbs the simulation.
@@ -352,7 +507,24 @@ down=S-E,degrade=F:S-E] [--watchdog-horizon DUR]"
         print!("{}", res.stats);
         faults.summary(&res);
         println!("  audit: clean (invariants asserted by the runner)");
-        obs.emit(&res);
+        if obs.wanted() {
+            obs.emit(&res);
+        }
+        if whatif.wanted() {
+            let data = res.obs.as_ref().expect("recorder attached");
+            let no_faults = !faults.active();
+            whatif.emit(data, &|iv| {
+                // Ground truth: re-run the real simulator under the
+                // equivalent configuration. Virtual-only interventions
+                // (layer scaling) and faulted runs have no equivalent.
+                if !no_faults {
+                    return None;
+                }
+                run_intervened(&case, NoiseScope::PerNode, noise, seed, iv, 0)
+                    .ok()
+                    .map(|r| r.makespan.as_nanos())
+            });
+        }
         return;
     }
     if faults.active() {
@@ -380,6 +552,7 @@ down=S-E,degrade=F:S-E] [--watchdog-horizon DUR]"
 
 #[cfg(test)]
 mod tests {
+    use super::{known, usage, FLAGS};
     use adapt::mpi::WorldStats;
 
     /// Satellite guarantee: the CLI's stats block is generated from the
@@ -395,5 +568,27 @@ mod tests {
             );
         }
         assert_eq!(shown.lines().count(), WorldStats::FIELD_NAMES.len());
+    }
+
+    /// Satellite guarantee: every flag the CLI parses appears in the
+    /// usage string. `arg`/`flag` assert membership in [`FLAGS`], and the
+    /// usage is generated from the same table, so the two cannot drift.
+    #[test]
+    fn usage_lists_every_parsed_flag() {
+        let text = usage();
+        for (name, _, help) in FLAGS {
+            assert!(
+                text.contains(&format!("--{name}")),
+                "usage is missing --{name}:\n{text}"
+            );
+            assert!(!help.is_empty(), "--{name} needs a help line");
+        }
+        assert!(known("whatif") && known("diff-against") && known("obs-out"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the FLAGS table")]
+    fn unknown_flags_cannot_be_parsed() {
+        super::arg(&[], "no-such-flag");
     }
 }

@@ -1,0 +1,105 @@
+//! Golden recordings for the what-if engine and the CI regression gate.
+//!
+//! Two pinned `adapt-obs-v1` recordings of the mini scenario the CI
+//! gate replays — the same configuration `adapt-cli --machine mini
+//! --nodes 2 --msg 262144 --seed 42 --obs-out ...` exports, for the
+//! ADAPT and OMPI-default libraries. The fixtures must stay
+//! byte-identical to a fresh recording (full determinism), replayable
+//! bit-exactly by the no-op intervention, and diff-clean against a
+//! fresh run (the `--gate` check CI applies).
+//!
+//! Regenerate (only when a behaviour change is intended and reviewed):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test whatif_golden
+//! ```
+
+use adapt::collectives::{record_once, CollectiveCase, Library, NoiseScope, OpKind};
+use adapt::obs::{diff_runs, from_json, predict, to_json, Intervention};
+use adapt::prelude::*;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/whatif")
+}
+
+/// The CI gate scenario: `--machine mini --nodes 2` (32 ranks),
+/// 256 KiB broadcast, quiet, seed 42, PerNode scope — exactly what
+/// `adapt-cli` records for the fresh side of the gate diff.
+fn gate_case(library: Library) -> CollectiveCase {
+    CollectiveCase {
+        machine: profiles::minicluster(2, 2, 8),
+        nranks: 32,
+        op: OpKind::Bcast,
+        library,
+        msg_bytes: 256 * 1024,
+    }
+}
+
+fn check(name: &str, got: &str) -> String {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return got.to_string();
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "golden recording diverged from {} — a behaviour change moved the \
+         simulation; if intentional, regenerate with GOLDEN_REGEN=1",
+        path.display()
+    );
+    want
+}
+
+#[test]
+fn golden_recordings_stay_replayable_and_gate_clean() {
+    for (name, library) in [
+        ("bcast_mini32_256k_adapt.json", Library::OmpiAdapt),
+        ("bcast_mini32_256k_default.json", Library::OmpiDefault),
+    ] {
+        let case = gate_case(library);
+        let fresh = record_once(&case, NoiseScope::PerNode, 0.0, 42, 0)
+            .obs
+            .expect("recorder attached");
+        let committed = from_json(&check(name, &to_json(&fresh))).unwrap();
+        // The committed fixture replays bit-exactly under no intervention.
+        let p = predict(&committed, &Intervention::Noop).unwrap();
+        assert_eq!(p.per_rank_finish_ns, committed.per_rank_finish_ns);
+        // The CI gate: a fresh run of the same configuration must not
+        // regress against the committed baseline — today it is exactly 0.
+        let d = diff_runs(&committed, &fresh);
+        assert_eq!(d.delta_ns(), 0, "{name}: fresh run drifted");
+        assert!(d.regression_pct() <= 5.0);
+    }
+}
+
+#[test]
+fn golden_gap_attribution_between_libraries() {
+    let load = |name: &str| {
+        let case = gate_case(if name.contains("adapt") {
+            Library::OmpiAdapt
+        } else {
+            Library::OmpiDefault
+        });
+        record_once(&case, NoiseScope::PerNode, 0.0, 42, 0)
+            .obs
+            .expect("recorder attached")
+    };
+    let adapt = load("adapt");
+    let default = load("default");
+    let d = diff_runs(&default, &adapt);
+    // The walkthrough's claim: the diff attributes the whole gap.
+    assert_eq!(d.attributed_ns(), d.delta_ns());
+    assert_eq!(
+        d.delta_ns(),
+        adapt.makespan_ns() as i64 - default.makespan_ns() as i64
+    );
+}
