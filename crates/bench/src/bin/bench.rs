@@ -1,0 +1,199 @@
+//! The barometer CLI: record, compare, and render benchmark history.
+//!
+//! ```text
+//! bench record [--quick] [--pr N] [--rev R] [--filter SUBSTR]
+//!              [--ledger results/barometer.jsonl] [--scenarios DIR]
+//! bench diff   [--from SEL] [--to SEL] [--scale quick|full] [--gate PCT]
+//! bench rank   [--scale quick|full]
+//! bench import FILE --pr N [--rev R]
+//! ```
+//!
+//! Selectors are `latest`, `prev`, `pr:N`, or `rev:PREFIX`; `diff`
+//! defaults to `prev -> latest`, which is what the CI gate wants right
+//! after a `record`: the freshly appended entry against the last
+//! committed one. `--gate PCT` makes `diff` exit non-zero when any
+//! scenario's events/sec drops more than PCT percent.
+//!
+//! `import` backfills the ledger from a legacy `BENCH_PRn.json`
+//! snapshot, taking only its absolute numbers (the folded-in `before_*`
+//! baseline is the chained-ratio bug the ledger replaces).
+
+use adapt_bench::barometer::{
+    append_entries, diff, gate, import_legacy, load_corpus, load_ledger, render_diff, render_rank,
+    LedgerEntry, Sel, CURRENT_PR, LEDGER_PATH,
+};
+use adapt_bench::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    cmd: String,
+    positional: Vec<String>,
+    quick: bool,
+    pr: Option<u32>,
+    rev: Option<String>,
+    ledger: PathBuf,
+    scenarios: PathBuf,
+    filter: Option<String>,
+    from: Sel,
+    to: Sel,
+    scale: Option<String>,
+    gate_pct: Option<f64>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        cmd: String::new(),
+        positional: Vec::new(),
+        quick: false,
+        pr: None,
+        rev: None,
+        ledger: PathBuf::from(LEDGER_PATH),
+        scenarios: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios"),
+        filter: None,
+        from: Sel::Prev,
+        to: Sel::Latest,
+        scale: None,
+        gate_pct: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--pr" => {
+                cli.pr = Some(
+                    value(&mut args, "--pr")?
+                        .parse()
+                        .map_err(|e| format!("--pr: {e}"))?,
+                )
+            }
+            "--rev" => cli.rev = Some(value(&mut args, "--rev")?),
+            "--ledger" => cli.ledger = PathBuf::from(value(&mut args, "--ledger")?),
+            "--scenarios" => cli.scenarios = PathBuf::from(value(&mut args, "--scenarios")?),
+            "--filter" => cli.filter = Some(value(&mut args, "--filter")?),
+            "--from" => cli.from = Sel::parse(&value(&mut args, "--from")?)?,
+            "--to" => cli.to = Sel::parse(&value(&mut args, "--to")?)?,
+            "--scale" => {
+                let s = value(&mut args, "--scale")?;
+                if s != "quick" && s != "full" {
+                    return Err(format!("--scale must be quick or full, got `{s}`"));
+                }
+                cli.scale = Some(s);
+            }
+            "--gate" => {
+                cli.gate_pct = Some(
+                    value(&mut args, "--gate")?
+                        .parse()
+                        .map_err(|e| format!("--gate: {e}"))?,
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            word if cli.cmd.is_empty() => cli.cmd = word.to_string(),
+            word => cli.positional.push(word.to_string()),
+        }
+    }
+    if cli.cmd.is_empty() {
+        return Err("usage: bench <record|diff|rank|import> [flags]".to_string());
+    }
+    Ok(cli)
+}
+
+/// Short rev of the working tree, or `unknown` outside a git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    match cli.cmd.as_str() {
+        "record" => {
+            let scale = if cli.quick { Scale::Quick } else { Scale::Full };
+            let scale_name = if cli.quick { "quick" } else { "full" };
+            let pr = cli.pr.unwrap_or(CURRENT_PR);
+            let rev = cli.rev.unwrap_or_else(git_rev);
+            let corpus = load_corpus(&cli.scenarios)?;
+            let corpus: Vec<_> = match &cli.filter {
+                Some(f) => corpus.into_iter().filter(|s| s.name.contains(f)).collect(),
+                None => corpus,
+            };
+            if corpus.is_empty() {
+                return Err("filter matched no scenarios".to_string());
+            }
+            let mut entries = Vec::new();
+            for s in &corpus {
+                let r = s.run(scale);
+                println!(
+                    "{:<32} {:>10.2} ms ({:.2}-{:.2})  {:>12.0} events/s",
+                    r.name, r.wall_ms, r.wall_min_ms, r.wall_max_ms, r.events_per_sec
+                );
+                entries.push(LedgerEntry::from_result(&r, pr, &rev, scale));
+            }
+            append_entries(&cli.ledger, &entries)?;
+            println!(
+                "appended {} {scale_name}-scale entries (pr{pr}, {rev}) to {}",
+                entries.len(),
+                cli.ledger.display()
+            );
+            Ok(())
+        }
+        "diff" => {
+            let ledger = load_ledger(&cli.ledger)?;
+            if ledger.is_empty() {
+                return Err(format!("ledger {} is empty", cli.ledger.display()));
+            }
+            let rows = diff(&ledger, &cli.from, &cli.to, cli.scale.as_deref());
+            if rows.is_empty() {
+                return Err("selectors matched no scenario pairs".to_string());
+            }
+            print!("{}", render_diff(&rows));
+            match cli.gate_pct {
+                Some(pct) => gate(&rows, pct),
+                None => Ok(()),
+            }
+        }
+        "rank" => {
+            let ledger = load_ledger(&cli.ledger)?;
+            if ledger.is_empty() {
+                return Err(format!("ledger {} is empty", cli.ledger.display()));
+            }
+            print!("{}", render_rank(&ledger, cli.scale.as_deref()));
+            Ok(())
+        }
+        "import" => {
+            let file = cli
+                .positional
+                .first()
+                .ok_or("import needs a legacy BENCH_PRn.json path")?;
+            let pr = cli.pr.ok_or("import needs --pr N (the snapshot's PR)")?;
+            let rev = cli.rev.unwrap_or_else(|| "unknown".to_string());
+            let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+            let entries = import_legacy(&text, pr, &rev)?;
+            append_entries(&cli.ledger, &entries)?;
+            println!(
+                "imported {} entries from {file} (pr{pr}, {rev}) into {}",
+                entries.len(),
+                cli.ledger.display()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_cli().and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

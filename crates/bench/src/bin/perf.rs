@@ -7,9 +7,12 @@
 //! ```
 //!
 //! With `--baseline`, the previous run's numbers are folded in as
-//! `before_*` fields with per-scenario speedups — that file is what makes
-//! each PR accountable to a number (see EXPERIMENTS.md, "Performance
-//! harness").
+//! `before_*` fields with per-scenario speedups — useful for one-off
+//! local A/B comparisons. The *recorded* trajectory across PRs lives in
+//! the barometer ledger instead (`results/barometer.jsonl`, absolute
+//! numbers, ratios derived at read time): use
+//! `cargo run --release -p adapt-bench --bin bench -- record|diff|rank`
+//! (see EXPERIMENTS.md, "Benchmark barometer and the PR 3 reclaim").
 
 use adapt_bench::perf::{parse_baseline, run_suite, to_json};
 use adapt_bench::{parse_args, CpuMachine, Scale};

@@ -18,6 +18,7 @@
 //! `--scale full|quick`; `quick` shrinks rank counts and iteration counts
 //! so the whole suite runs in minutes on a laptop.
 
+pub mod barometer;
 pub mod perf;
 
 use std::collections::HashMap;

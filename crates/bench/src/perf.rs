@@ -16,10 +16,15 @@
 //! | `fig8_quick_bcast_inert_faults` | the sweep with an inert fault plan — the reliability layer's zero-overhead guard |
 //! | `fig8_quick_bcast_lossy1pct` | the sweep at 1% per-hop loss through the reliability layer |
 //!
-//! `cargo run --release -p adapt-bench --bin perf` writes the results to
-//! `BENCH_PR2.json`; pass `--baseline old.json` to fold a previous run in
-//! as per-scenario `before_*` fields with computed speedups, which is how
-//! the repo's benchmark trajectory is recorded across PRs.
+//! The repo's recorded trajectory lives in the barometer ledger
+//! (`results/barometer.jsonl`, absolute numbers only — see
+//! [`crate::barometer`] and the `bench` binary), which drives these
+//! scenarios from a declarative TOML corpus. The older
+//! `cargo run --release -p adapt-bench --bin perf` flow that chained
+//! `--baseline old.json` into `before_*` fields is kept for one-off local
+//! comparisons, but its chained speedups are no longer the record: a
+//! regressed PR used as the next PR's baseline silently compounds, which
+//! is exactly the failure mode the ledger exists to prevent.
 
 use crate::{CpuMachine, Scale, FIG89_SIZES};
 use adapt_collectives::{run_once, world_for_case, CollectiveCase, Library, NoiseScope, OpKind};
@@ -37,9 +42,13 @@ use std::time::Instant;
 #[derive(Clone, Debug)]
 pub struct PerfResult {
     /// Scenario name (stable key in the JSON trajectory).
-    pub name: &'static str,
+    pub name: String,
     /// Median wall-clock across the timed iterations, milliseconds.
     pub wall_ms: f64,
+    /// Fastest timed iteration, milliseconds.
+    pub wall_min_ms: f64,
+    /// Slowest timed iteration, milliseconds.
+    pub wall_max_ms: f64,
     /// Simulator events processed in one iteration.
     pub events: u64,
     /// Events per wall-clock second (throughput figure of merit).
@@ -50,9 +59,25 @@ pub struct PerfResult {
     pub share_recomputes: u64,
 }
 
+/// Wall-clock distribution of one timed scenario: the median that gets
+/// recorded, plus the min/max spread that says how far to trust it. A
+/// spread much wider than a CI gate's threshold means the gate would be
+/// reading noise, not regressions.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Median of the timed iterations, milliseconds.
+    pub median_ms: f64,
+    /// Fastest timed iteration, milliseconds.
+    pub min_ms: f64,
+    /// Slowest timed iteration, milliseconds.
+    pub max_ms: f64,
+}
+
 /// Run `f` with `warmup` throwaway and `k` timed iterations; returns the
-/// median wall-clock in milliseconds plus the last iteration's payload.
-pub fn time_median<T>(warmup: usize, k: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+/// median/min/max wall-clock plus the last iteration's payload. The
+/// median is what gets recorded (robust to a single noisy iteration); the
+/// spread is recorded alongside so a diff can tell signal from noise.
+pub fn time_median<T>(warmup: usize, k: usize, mut f: impl FnMut() -> T) -> (Timing, T) {
     assert!(k >= 1);
     for _ in 0..warmup {
         f();
@@ -66,7 +91,12 @@ pub fn time_median<T>(warmup: usize, k: usize, mut f: impl FnMut() -> T) -> (f64
         last = Some(out);
     }
     samples.sort_by(|a, b| a.total_cmp(b));
-    (samples[k / 2], last.expect("k >= 1"))
+    let t = Timing {
+        median_ms: samples[k / 2],
+        min_ms: samples[0],
+        max_ms: samples[k - 1],
+    };
+    (t, last.expect("k >= 1"))
 }
 
 // ---------------------------------------------------------------------
@@ -186,30 +216,62 @@ fn matching_world(count: u32, bytes: u64, receiver: Box<dyn RankProgram>) -> Wor
     res.stats
 }
 
+/// Parameters of the two matching scenarios, normally loaded from the
+/// scenario corpus (`crates/bench/scenarios/*.toml`).
+#[derive(Clone, Copy, Debug)]
+pub struct MatchingParams {
+    /// Messages flooded from rank 0 to rank 1.
+    pub count: u32,
+    /// Payload bytes per message.
+    pub bytes: u64,
+    /// Throwaway iterations before timing starts.
+    pub warmup: usize,
+    /// Timed iterations (median recorded).
+    pub iters: usize,
+}
+
+impl MatchingParams {
+    fn defaults(scale: Scale) -> MatchingParams {
+        MatchingParams {
+            count: match scale {
+                Scale::Quick => 2_000,
+                Scale::Full => 6_000,
+            },
+            bytes: 1024,
+            warmup: 1,
+            iters: 5,
+        }
+    }
+}
+
 /// Posted-receive matching throughput (descending arrivals vs a long
 /// pre-posted list).
 pub fn bench_matching_posted(scale: Scale) -> PerfResult {
-    let count = match scale {
-        Scale::Quick => 2_000,
-        Scale::Full => 6_000,
-    };
-    let (wall_ms, stats) = time_median(1, 5, || {
-        matching_world(count, 1024, Box::new(PrePoster { count, done: 0 }))
+    bench_matching_posted_with(&MatchingParams::defaults(scale))
+}
+
+/// [`bench_matching_posted`] with explicit parameters.
+pub fn bench_matching_posted_with(p: &MatchingParams) -> PerfResult {
+    let count = p.count;
+    let (t, stats) = time_median(p.warmup, p.iters, || {
+        matching_world(count, p.bytes, Box::new(PrePoster { count, done: 0 }))
     });
-    result("matching_posted", wall_ms, stats)
+    result("matching_posted", t, stats)
 }
 
 /// Unexpected-queue matching throughput (late posts vs a long unexpected
 /// queue).
 pub fn bench_matching_unexpected(scale: Scale) -> PerfResult {
-    let count = match scale {
-        Scale::Quick => 2_000,
-        Scale::Full => 6_000,
-    };
-    let (wall_ms, stats) = time_median(1, 5, || {
+    bench_matching_unexpected_with(&MatchingParams::defaults(scale))
+}
+
+/// [`bench_matching_unexpected`] with explicit parameters.
+pub fn bench_matching_unexpected_with(p: &MatchingParams) -> PerfResult {
+    let count = p.count;
+    let (t, stats) = time_median(p.warmup, p.iters, || {
         matching_world(
             count,
-            1024,
+            p.bytes,
             Box::new(LatePoster {
                 count,
                 delay: SimDuration::from_millis(500),
@@ -217,7 +279,7 @@ pub fn bench_matching_unexpected(scale: Scale) -> PerfResult {
             }),
         )
     });
-    result("matching_unexpected", wall_ms, stats)
+    result("matching_unexpected", t, stats)
 }
 
 // ---------------------------------------------------------------------
@@ -235,16 +297,45 @@ impl FlowScheduler for BenchSched {
     }
 }
 
+/// Parameters of the flow-churn scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnParams {
+    /// Endpoint lanes funnelling into the shared backbone.
+    pub lanes: u32,
+    /// Flows started over the run.
+    pub flows: u64,
+    /// Throwaway iterations before timing starts.
+    pub warmup: usize,
+    /// Timed iterations (median recorded).
+    pub iters: usize,
+}
+
+impl ChurnParams {
+    fn defaults(scale: Scale) -> ChurnParams {
+        ChurnParams {
+            lanes: 64,
+            flows: match scale {
+                Scale::Quick => 6_000,
+                Scale::Full => 20_000,
+            },
+            warmup: 1,
+            iters: 5,
+        }
+    }
+}
+
 /// Start `flows` staggered flows over `lanes` endpoint lanes that all
 /// funnel through one backbone link, and drive the engine dry. This is the
 /// fan-in congestion pattern of a large reduce: every start and drain
 /// perturbs the shared bottleneck.
 pub fn bench_flow_churn(scale: Scale) -> PerfResult {
-    let (lanes, flows) = match scale {
-        Scale::Quick => (64u32, 6_000u64),
-        Scale::Full => (64u32, 20_000u64),
-    };
-    let (wall_ms, (events, perf)) = time_median(1, 5, || {
+    bench_flow_churn_with(&ChurnParams::defaults(scale))
+}
+
+/// [`bench_flow_churn`] with explicit parameters.
+pub fn bench_flow_churn_with(p: &ChurnParams) -> PerfResult {
+    let (lanes, flows) = (p.lanes, p.flows);
+    let (t, (events, perf)) = time_median(p.warmup, p.iters, || {
         let mut links = vec![Link {
             class: LinkClass::Backbone,
             capacity: 100e9,
@@ -309,10 +400,12 @@ pub fn bench_flow_churn(scale: Scale) -> PerfResult {
         (events, net.perf_counters())
     });
     PerfResult {
-        name: "flow_churn",
-        wall_ms,
+        name: "flow_churn".into(),
+        wall_ms: t.median_ms,
+        wall_min_ms: t.min_ms,
+        wall_max_ms: t.max_ms,
         events,
-        events_per_sec: events as f64 / (wall_ms / 1e3),
+        events_per_sec: events as f64 / (t.median_ms / 1e3),
         match_probes: 0,
         share_recomputes: perf.share_recomputes,
     }
@@ -322,71 +415,67 @@ pub fn bench_flow_churn(scale: Scale) -> PerfResult {
 // End-to-end: quick-scale fig8 broadcast sweep at 256 ranks.
 // ---------------------------------------------------------------------
 
+/// What rides along on the fig8 sweep: the plain run, or one of the
+/// cross-layer attachments whose overhead the suite tracks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fig8Mode {
+    /// Plain sweep — the acceptance scenario.
+    Plain,
+    /// Full observability recording (spans + 10 µs gauge sampling).
+    Traced,
+    /// Inert fault plan attached — the reliability layer's zero-overhead
+    /// guard (counters asserted bit-identical to an unfaulted run).
+    InertFaults,
+    /// Per-hop message loss at the given probability, with an 80 µs RTO.
+    Lossy(f64),
+}
+
+/// Parameters of the fig8 end-to-end sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig8Params {
+    /// Cori nodes (32 ranks each).
+    pub nodes: u32,
+    /// Total ranks.
+    pub nranks: u32,
+    /// Throwaway iterations before timing starts.
+    pub warmup: usize,
+    /// Timed iterations (median recorded).
+    pub iters: usize,
+    /// Attachment under test.
+    pub mode: Fig8Mode,
+}
+
+impl Fig8Params {
+    fn defaults(mode: Fig8Mode) -> Fig8Params {
+        Fig8Params {
+            nodes: 8, // 8 nodes x 2 sockets x 16 cores = 256
+            nranks: 256,
+            warmup: 1,
+            iters: 3,
+            mode,
+        }
+    }
+}
+
 /// The acceptance scenario: OMPI-adapt broadcast over the fig8 message
 /// sizes on a 256-rank Cori slice, one run per size, total wall-clock.
 pub fn bench_fig8_quick(scale: Scale) -> PerfResult {
-    let sizes: &[u64] = match scale {
-        Scale::Quick => &FIG89_SIZES,
-        Scale::Full => &FIG89_SIZES,
-    };
-    let spec = profiles::cori(8); // 8 nodes x 2 sockets x 16 cores = 256
-    let nranks = 256;
-    let (wall_ms, stats_sum) = time_median(1, 3, || {
-        let mut sum = WorldStats::default();
-        for &msg_bytes in sizes {
-            let case = CollectiveCase {
-                machine: spec.clone(),
-                nranks,
-                op: OpKind::Bcast,
-                library: Library::OmpiAdapt,
-                msg_bytes,
-            };
-            let (_us, stats) = run_once(&case, 0.0, 1);
-            sum.events += stats.events;
-            sum.match_probes += stats.match_probes;
-            sum.net_share_recomputes += stats.net_share_recomputes;
-        }
-        sum
-    });
-    result("fig8_quick_bcast_256", wall_ms, stats_sum)
+    let _ = scale; // the sweep sizes are the figure's, at either scale
+    bench_fig8_with(
+        "fig8_quick_bcast_256",
+        &Fig8Params::defaults(Fig8Mode::Plain),
+    )
 }
 
-/// The same sweep with full observability recording attached (spans plus
-/// 10 µs gauge sampling), measuring the cost of instrumentation on the
-/// end-to-end hot path. Compare against `fig8_quick_bcast_256` to read the
-/// recording overhead.
+/// The same sweep with full observability recording attached, measuring
+/// the cost of instrumentation on the end-to-end hot path. Compare
+/// against `fig8_quick_bcast_256` to read the recording overhead.
 pub fn bench_fig8_quick_traced(scale: Scale) -> PerfResult {
-    let sizes: &[u64] = match scale {
-        Scale::Quick => &FIG89_SIZES,
-        Scale::Full => &FIG89_SIZES,
-    };
-    let spec = profiles::cori(8);
-    let nranks = 256;
-    let (wall_ms, stats_sum) = time_median(1, 3, || {
-        let mut sum = WorldStats::default();
-        for &msg_bytes in sizes {
-            let case = CollectiveCase {
-                machine: spec.clone(),
-                nranks,
-                op: OpKind::Bcast,
-                library: Library::OmpiAdapt,
-                msg_bytes,
-            };
-            let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
-            let res = world
-                .with_recorder(Box::new(MemRecorder::with_metrics(10_000)))
-                .run(programs);
-            assert!(res.audit.is_clean(), "{}", res.audit);
-            let obs = res.obs.expect("recorded run carries observability data");
-            assert!(!obs.dispatches.is_empty() && !obs.gauges.is_empty());
-            let stats = res.stats;
-            sum.events += stats.events;
-            sum.match_probes += stats.match_probes;
-            sum.net_share_recomputes += stats.net_share_recomputes;
-        }
-        sum
-    });
-    result("fig8_quick_bcast_256_traced", wall_ms, stats_sum)
+    let _ = scale;
+    bench_fig8_with(
+        "fig8_quick_bcast_256_traced",
+        &Fig8Params::defaults(Fig8Mode::Traced),
+    )
 }
 
 /// Zero-overhead guard for the reliability layer: the same fig8 sweep
@@ -395,50 +484,11 @@ pub fn bench_fig8_quick_traced(scale: Scale) -> PerfResult {
 /// asserted bit-identical to an unfaulted run and the recorded wall
 /// clock should sit on top of `fig8_quick_bcast_256`'s.
 pub fn bench_fig8_inert_faults(scale: Scale) -> PerfResult {
-    let sizes: &[u64] = match scale {
-        Scale::Quick => &FIG89_SIZES,
-        Scale::Full => &FIG89_SIZES,
-    };
-    let spec = profiles::cori(8);
-    let nranks = 256;
-    let mk_case = |msg_bytes| CollectiveCase {
-        machine: spec.clone(),
-        nranks,
-        op: OpKind::Bcast,
-        library: Library::OmpiAdapt,
-        msg_bytes,
-    };
-    // The bit-identical guarantee, checked once outside the timed loop so
-    // the recorded wall clock measures only the inert-faulted run and
-    // compares directly against `fig8_quick_bcast_256`.
-    for &msg_bytes in sizes {
-        let case = mk_case(msg_bytes);
-        let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
-        let plan = FaultPlan::lossy(1, 0.0);
-        assert!(plan.is_inert());
-        let res = world.with_faults(plan).run(programs);
-        let (plain_world, plain_programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
-        let plain = plain_world.run(plain_programs);
-        assert_eq!(
-            res.stats, plain.stats,
-            "an inert fault plan must leave every counter bit-identical"
-        );
-        assert_eq!(res.per_rank_finish, plain.per_rank_finish);
-    }
-    let (wall_ms, stats_sum) = time_median(1, 3, || {
-        let mut sum = WorldStats::default();
-        for &msg_bytes in sizes {
-            let case = mk_case(msg_bytes);
-            let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
-            let res = world.with_faults(FaultPlan::lossy(1, 0.0)).run(programs);
-            assert!(res.audit.is_clean(), "{}", res.audit);
-            sum.events += res.stats.events;
-            sum.match_probes += res.stats.match_probes;
-            sum.net_share_recomputes += res.stats.net_share_recomputes;
-        }
-        sum
-    });
-    result("fig8_quick_bcast_inert_faults", wall_ms, stats_sum)
+    let _ = scale;
+    bench_fig8_with(
+        "fig8_quick_bcast_inert_faults",
+        &Fig8Params::defaults(Fig8Mode::InertFaults),
+    )
 }
 
 /// The reliability layer under fire: the fig8 sweep at 1% per-hop loss.
@@ -446,42 +496,93 @@ pub fn bench_fig8_inert_faults(scale: Scale) -> PerfResult {
 /// and duplicate suppression on the end-to-end hot path; asserts the
 /// recovery actually happened (retransmits > 0, audit clean).
 pub fn bench_fig8_lossy(scale: Scale) -> PerfResult {
-    let sizes: &[u64] = match scale {
-        Scale::Quick => &FIG89_SIZES,
-        Scale::Full => &FIG89_SIZES,
+    let _ = scale;
+    bench_fig8_with(
+        "fig8_quick_bcast_lossy1pct",
+        &Fig8Params::defaults(Fig8Mode::Lossy(0.01)),
+    )
+}
+
+/// The fig8 sweep with explicit parameters: one collective run per
+/// message size, with `p.mode`'s attachment, summed stats per iteration.
+pub fn bench_fig8_with(name: &str, p: &Fig8Params) -> PerfResult {
+    let sizes: &[u64] = &FIG89_SIZES;
+    let spec = profiles::cori(p.nodes);
+    let nranks = p.nranks;
+    let mk_case = |msg_bytes| CollectiveCase {
+        machine: spec.clone(),
+        nranks,
+        op: OpKind::Bcast,
+        library: Library::OmpiAdapt,
+        msg_bytes,
     };
-    let spec = profiles::cori(8);
-    let nranks = 256;
-    let (wall_ms, stats_sum) = time_median(1, 3, || {
+    if p.mode == Fig8Mode::InertFaults {
+        // The bit-identical guarantee, checked once outside the timed
+        // loop so the recorded wall clock measures only the inert-faulted
+        // run and compares directly against `fig8_quick_bcast_256`.
+        for &msg_bytes in sizes {
+            let case = mk_case(msg_bytes);
+            let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+            let plan = FaultPlan::lossy(1, 0.0);
+            assert!(plan.is_inert());
+            let res = world.with_faults(plan).run(programs);
+            let (plain_world, plain_programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+            let plain = plain_world.run(plain_programs);
+            assert_eq!(
+                res.stats, plain.stats,
+                "an inert fault plan must leave every counter bit-identical"
+            );
+            assert_eq!(res.per_rank_finish, plain.per_rank_finish);
+        }
+    }
+    let (t, stats_sum) = time_median(p.warmup, p.iters, || {
         let mut sum = WorldStats::default();
         for &msg_bytes in sizes {
-            let case = CollectiveCase {
-                machine: spec.clone(),
-                nranks,
-                op: OpKind::Bcast,
-                library: Library::OmpiAdapt,
-                msg_bytes,
+            let case = mk_case(msg_bytes);
+            let stats = match p.mode {
+                Fig8Mode::Plain => run_once(&case, 0.0, 1).1,
+                Fig8Mode::Traced => {
+                    let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+                    let res = world
+                        .with_recorder(Box::new(MemRecorder::with_metrics(10_000)))
+                        .run(programs);
+                    assert!(res.audit.is_clean(), "{}", res.audit);
+                    let obs = res.obs.expect("recorded run carries observability data");
+                    assert!(!obs.dispatches.is_empty() && !obs.gauges.is_empty());
+                    res.stats
+                }
+                Fig8Mode::InertFaults => {
+                    let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+                    let res = world.with_faults(FaultPlan::lossy(1, 0.0)).run(programs);
+                    assert!(res.audit.is_clean(), "{}", res.audit);
+                    res.stats
+                }
+                Fig8Mode::Lossy(p_loss) => {
+                    let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+                    let plan = FaultPlan::lossy(1, p_loss).with_rto(SimDuration::from_micros(80));
+                    let res = world.with_faults(plan).run(programs);
+                    assert!(res.audit.is_clean(), "{}", res.audit);
+                    assert!(res.stats.retransmits > 0, "loss must exercise recovery");
+                    res.stats
+                }
             };
-            let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
-            let plan = FaultPlan::lossy(1, 0.01).with_rto(SimDuration::from_micros(80));
-            let res = world.with_faults(plan).run(programs);
-            assert!(res.audit.is_clean(), "{}", res.audit);
-            assert!(res.stats.retransmits > 0, "1% loss must exercise recovery");
-            sum.events += res.stats.events;
-            sum.match_probes += res.stats.match_probes;
-            sum.net_share_recomputes += res.stats.net_share_recomputes;
+            sum.events += stats.events;
+            sum.match_probes += stats.match_probes;
+            sum.net_share_recomputes += stats.net_share_recomputes;
         }
         sum
     });
-    result("fig8_quick_bcast_lossy1pct", wall_ms, stats_sum)
+    result(name, t, stats_sum)
 }
 
-fn result(name: &'static str, wall_ms: f64, stats: WorldStats) -> PerfResult {
+fn result(name: &str, t: Timing, stats: WorldStats) -> PerfResult {
     PerfResult {
-        name,
-        wall_ms,
+        name: name.into(),
+        wall_ms: t.median_ms,
+        wall_min_ms: t.min_ms,
+        wall_max_ms: t.max_ms,
         events: stats.events,
-        events_per_sec: stats.events as f64 / (wall_ms / 1e3),
+        events_per_sec: stats.events as f64 / (t.median_ms / 1e3),
         match_probes: stats.match_probes,
         share_recomputes: stats.net_share_recomputes,
     }
@@ -559,6 +660,8 @@ pub fn to_json(scale: Scale, results: &[PerfResult], baselines: &[(String, Basel
         s.push_str("    {\n");
         s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
         s.push_str(&format!("      \"wall_ms\": {:.3},\n", r.wall_ms));
+        s.push_str(&format!("      \"wall_min_ms\": {:.3},\n", r.wall_min_ms));
+        s.push_str(&format!("      \"wall_max_ms\": {:.3},\n", r.wall_max_ms));
         s.push_str(&format!("      \"events\": {},\n", r.events));
         s.push_str(&format!(
             "      \"events_per_sec\": {:.1},\n",
@@ -569,7 +672,7 @@ pub fn to_json(scale: Scale, results: &[PerfResult], baselines: &[(String, Basel
             "      \"share_recomputes\": {}",
             r.share_recomputes
         ));
-        if let Some((_, b)) = baselines.iter().find(|(n, _)| n == r.name) {
+        if let Some((_, b)) = baselines.iter().find(|(n, _)| *n == r.name) {
             s.push_str(",\n");
             s.push_str(&format!("      \"before_wall_ms\": {:.3},\n", b.wall_ms));
             s.push_str(&format!(
@@ -610,20 +713,29 @@ mod tests {
     #[test]
     fn median_is_robust_to_one_outlier() {
         let mut i = 0;
-        let (ms, _) = time_median(0, 3, || {
+        let (t, _) = time_median(0, 3, || {
             i += 1;
             if i == 2 {
                 std::thread::sleep(std::time::Duration::from_millis(5));
             }
         });
-        assert!(ms < 5.0, "median {ms} should dodge the 5ms outlier");
+        assert!(
+            t.median_ms < 5.0,
+            "median {} should dodge the 5ms outlier",
+            t.median_ms
+        );
+        // The outlier still shows up in the spread.
+        assert!(t.max_ms >= 5.0);
+        assert!(t.min_ms <= t.median_ms && t.median_ms <= t.max_ms);
     }
 
     #[test]
     fn json_roundtrips_through_baseline_parser() {
         let results = vec![PerfResult {
-            name: "matching_posted",
+            name: "matching_posted".into(),
             wall_ms: 12.5,
+            wall_min_ms: 12.0,
+            wall_max_ms: 13.0,
             events: 1000,
             events_per_sec: 80_000.0,
             match_probes: 42,

@@ -519,6 +519,11 @@ pub fn noise_for_case(
 
 /// Run one iteration of a case (per-node noise scope) and return its
 /// completion time (µs).
+///
+/// This is the path the benchmark barometer's `fig8_quick_bcast_256`
+/// acceptance scenario times with recording compiled in but disabled —
+/// changes that slow it show up in `bench diff` against the committed
+/// ledger (`results/barometer.jsonl`).
 pub fn run_once(case: &CollectiveCase, noise_percent: f64, seed: u64) -> (f64, WorldStats) {
     run_once_scoped(case, NoiseScope::PerNode, noise_percent, seed)
 }

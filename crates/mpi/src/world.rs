@@ -114,7 +114,11 @@ enum RankItem {
         /// (send/recv completions only; `NO_MSG` otherwise) —
         /// observability causality only, never consulted by the
         /// simulation itself. A bare sentinel rather than an `Option`
-        /// keeps the event enum from growing for the recorder-off path.
+        /// saves `Option<u64>`'s eight padding bytes, though the field
+        /// itself still cost one word of event size (56 → 64 bytes when
+        /// it landed). The event queue stores payloads out-of-line in a
+        /// slab precisely so growth like this stays off the heap's
+        /// sift path.
         msg: MsgId,
     },
     RtsArrived(MsgId),
@@ -515,6 +519,9 @@ pub struct World {
     /// Cached `obs.enabled()` — every probe site branches on this flag
     /// only, so a disabled recorder costs one predictable branch.
     obs_on: bool,
+    /// Cached `ADAPT_TRACE` environment check — `start_send` is hot, and
+    /// an environment lookup per send is an easily avoided lock+scan.
+    trace_sends: bool,
 }
 
 impl World {
@@ -549,6 +556,7 @@ impl World {
             watchdog: None,
             obs: Box::new(NullRecorder),
             obs_on: false,
+            trace_sends: std::env::var_os("ADAPT_TRACE").is_some(),
         }
     }
 
@@ -1905,7 +1913,7 @@ impl World {
         token: Token,
         src_mem: Option<MemSpace>,
     ) {
-        if std::env::var_os("ADAPT_TRACE").is_some() {
+        if self.trace_sends {
             eprintln!(
                 "[{at:?}] isend {src}->{dst} tag={tag} bytes={}",
                 payload.len()

@@ -77,22 +77,28 @@ impl Path {
         self.len += 1;
     }
 
-    /// The links as a slice.
+    /// The links as a slice. Inlined: the fair-share recompute walks
+    /// every active flow's path on each bottleneck perturbation, so
+    /// these accessors sit on the `flow_churn` hot path.
+    #[inline]
     pub fn as_slice(&self) -> &[LinkId] {
         &self.links[..self.len as usize]
     }
 
     /// Number of links.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len as usize
     }
 
     /// True when the path crosses no shared resource.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// True if the path crosses `link`.
+    #[inline]
     pub fn contains(&self, link: LinkId) -> bool {
         self.as_slice().contains(&link)
     }

@@ -66,8 +66,18 @@ pub struct FlowStart {
 /// Attaching a recorder must never change simulation behaviour: probes
 /// only read state the runtime computed anyway, and the golden tests
 /// assert run results are identical with recording on and off.
+///
+/// Attaching a *disabled* recorder must also cost nothing measurable:
+/// the runtime calls [`Recorder::enabled`] once at attach time and
+/// caches the answer, so no virtual call sits on the hot path — every
+/// probe site is a single predictable branch on the cached flag. The
+/// benchmark barometer holds this to account: `fig8_quick_bcast_256`
+/// (recording compiled in, disabled) is gated against the ledger, and
+/// `fig8_quick_bcast_256_traced` tracks what enabling actually costs.
 pub trait Recorder {
-    /// Should the runtime fire probes at all? Cached by the runtime.
+    /// Should the runtime fire probes at all? Called once when the
+    /// recorder is attached and cached by the runtime — not consulted
+    /// per probe.
     fn enabled(&self) -> bool {
         false
     }

@@ -25,6 +25,13 @@
 //! numbers from the same counter, so `(time, seq)` ordering (and hence
 //! every golden trace) is unaffected by which path scheduled an event.
 //!
+//! Payloads are stored out-of-line in a slot slab and the heap sifts only
+//! 24-byte `(time, seq, slot)` keys. With the MPI world's ~72-byte event
+//! enum, sifting full entries made heap push/pop ~70% of event-loop time
+//! (gprofng, fig8 sweep); the indirection removes the payload `memcpy`
+//! from every sift level while leaving pop order — a pure function of
+//! `(time, seq)` — untouched.
+//!
 //! Lazy deletion alone lets cancelled debris pile up: a noise-heavy run
 //! whose drain events are rescheduled far more often than they fire can
 //! carry a heap many times its live size. Whenever the debris exceeds the
@@ -36,8 +43,6 @@
 
 use crate::fxhash::FxHashSet;
 use crate::time::Time;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Sequence number reserved for [`EventKey::default`]. `schedule` hands out
 /// sequence numbers counting up from zero, so this value is never assigned
@@ -62,43 +67,160 @@ impl Default for EventKey {
     }
 }
 
-struct Entry<E> {
+/// One heap entry: ordering key plus the slab slot holding the payload.
+///
+/// The payload itself lives out-of-line in [`EventQueue`]'s slab, so heap
+/// sift operations move this 24-byte POD instead of the full event — with
+/// a large event enum (the MPI world's is ~72 bytes) the heap was the
+/// single largest line item of the event loop, and most of that was
+/// `memcpy` of payloads that sift up and down without being consumed.
+#[derive(Clone, Copy)]
+struct Entry {
     time: Time,
     seq: u64,
+    /// Index into the slab where the payload waits.
+    slot: u32,
     /// Whether this entry participates in cancellation bookkeeping. An
     /// untracked entry is always live; a tracked one is live iff its seq
     /// is in the `pending` set.
     tracked: bool,
-    payload: E,
 }
 
-impl<E> Entry<E> {
+impl Entry {
     /// Heap ordering key. `(time, seq)` is a *strict* total order (seqs
     /// are unique), so every correct min-heap pops the same sequence —
     /// the heap's internal shape can never influence a simulation.
+    ///
+    /// Packed as `time << 64 | seq`: a single `u128` compare is
+    /// branchless (sub/sbb), where the equivalent tuple compare turns
+    /// into data-dependent branches that mispredict badly in the sift
+    /// loops. Ordering is identical to the lexicographic `(time, seq)`.
     #[inline]
-    fn key(&self) -> (Time, u64) {
-        (self.time, self.seq)
+    fn key(&self) -> u128 {
+        ((self.time.0 as u128) << 64) | self.seq as u128
     }
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl<E> Eq for Entry<E> {}
+/// Branching factor of the sift heap. A 4-ary heap is half as deep as a
+/// binary one and its four children sit in at most two cache lines of
+/// 24-byte entries, which measurably beats `std::collections::BinaryHeap`
+/// on the simulator's pop-heavy workload.
+const HEAP_ARITY: usize = 4;
 
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// A `Vec`-backed 4-ary min-heap of [`Entry`]s ordered by `(time, seq)`.
+/// Only the minimum is ever observable (pop/peek), and `(time, seq)` is a
+/// strict total order, so the internal shape — binary, 4-ary, or anything
+/// else — can never change which event pops next.
+#[derive(Default)]
+struct MinHeap {
+    v: Vec<Entry>,
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
-        other.key().cmp(&self.key())
+impl MinHeap {
+    #[inline]
+    fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&Entry> {
+        self.v.first()
+    }
+
+    fn push(&mut self, e: Entry) {
+        let mut i = self.v.len();
+        self.v.push(e);
+        // Sift up: move the hole toward the root until the parent is
+        // smaller, writing the new entry once at its final position.
+        while i > 0 {
+            let parent = (i - 1) / HEAP_ARITY;
+            if self.v[parent].key() <= e.key() {
+                break;
+            }
+            self.v[i] = self.v[parent];
+            i = parent;
+        }
+        self.v[i] = e;
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        let last = self.v.pop()?;
+        if self.v.is_empty() {
+            return Some(last);
+        }
+        let top = self.v[0];
+        // Sift the former tail down from the root: descend to the
+        // smallest child until none is smaller than it.
+        let n = self.v.len();
+        let mut i = 0;
+        loop {
+            let first = i * HEAP_ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let mut min = first;
+            let mut min_key = self.v[first].key();
+            for c in (first + 1)..(first + HEAP_ARITY).min(n) {
+                let k = self.v[c].key();
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if min_key >= last.key() {
+                break;
+            }
+            self.v[i] = self.v[min];
+            i = min;
+        }
+        self.v[i] = last;
+        Some(top)
+    }
+
+    /// Rebuild from arbitrary entries (Floyd's heapify, bottom-up).
+    fn rebuild(v: Vec<Entry>) -> MinHeap {
+        let mut h = MinHeap { v };
+        let n = h.v.len();
+        if n > 1 {
+            for i in (0..=(n - 2) / HEAP_ARITY).rev() {
+                h.sift_down(i);
+            }
+        }
+        h
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let e = self.v[i];
+        let n = self.v.len();
+        loop {
+            let first = i * HEAP_ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let mut min = first;
+            let mut min_key = self.v[first].key();
+            for c in (first + 1)..(first + HEAP_ARITY).min(n) {
+                let k = self.v[c].key();
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if min_key >= e.key() {
+                break;
+            }
+            self.v[i] = self.v[min];
+            i = min;
+        }
+        self.v[i] = e;
+    }
+
+    fn iter(&self) -> std::slice::Iter<'_, Entry> {
+        self.v.iter()
+    }
+
+    fn into_vec(self) -> Vec<Entry> {
+        self.v
     }
 }
 
@@ -129,7 +251,14 @@ impl QueueAudit {
 
 /// A deterministic time-ordered event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: MinHeap,
+    /// Payload storage, indexed by [`Entry::slot`]. A slot is occupied
+    /// from schedule until its entry pops (live or as lazy-deleted
+    /// debris), then recycled through `free`. Payloads are written once
+    /// and read once — they never participate in heap sifts.
+    slab: Vec<Option<E>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
     next_seq: u64,
     /// Sequence numbers of *tracked* entries that are scheduled and
     /// neither popped nor cancelled. A tracked entry in the heap is live
@@ -159,7 +288,9 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: MinHeap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             pending: FxHashSet::default(),
             live: 0,
@@ -178,12 +309,23 @@ impl<E> EventQueue<E> {
         }
         self.compactions += 1;
         let pending = &self.pending;
-        let live: Vec<Entry<E>> = std::mem::take(&mut self.heap)
+        let slab = &mut self.slab;
+        let free = &mut self.free;
+        let live: Vec<Entry> = std::mem::take(&mut self.heap)
             .into_vec()
             .into_iter()
-            .filter(|e| !e.tracked || pending.contains(&e.seq))
+            .filter(|e| {
+                let alive = !e.tracked || pending.contains(&e.seq);
+                if !alive {
+                    // Cancelled debris: release its payload slot now
+                    // instead of waiting for the entry to pop.
+                    slab[e.slot as usize] = None;
+                    free.push(e.slot);
+                }
+                alive
+            })
             .collect();
-        self.heap = BinaryHeap::from(live);
+        self.heap = MinHeap::rebuild(live);
     }
 
     /// Schedule `payload` at absolute time `time`.
@@ -214,11 +356,23 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         assert!(seq != SENTINEL_SEQ, "event sequence space exhausted");
         self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(payload);
+                s
+            }
+            None => {
+                let s = self.slab.len();
+                assert!(s < u32::MAX as usize, "event slab exhausted");
+                self.slab.push(Some(payload));
+                s as u32
+            }
+        };
         self.heap.push(Entry {
             time,
             seq,
+            slot,
             tracked,
-            payload,
         });
         self.live += 1;
         seq
@@ -241,12 +395,16 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Time, E)> {
         self.maybe_compact();
         while let Some(entry) = self.heap.pop() {
+            let payload = self.slab[entry.slot as usize]
+                .take()
+                .expect("scheduled slot holds a payload");
+            self.free.push(entry.slot);
             if entry.tracked && !self.pending.remove(&entry.seq) {
                 continue; // cancelled entry: lazy deletion
             }
             self.live -= 1;
             self.last_popped = entry.time;
-            return Some((entry.time, entry.payload));
+            return Some((entry.time, payload));
         }
         None
     }
@@ -258,7 +416,9 @@ impl<E> EventQueue<E> {
             if !entry.tracked || self.pending.contains(&entry.seq) {
                 return Some(entry.time);
             }
-            self.heap.pop();
+            let entry = self.heap.pop().expect("peeked entry pops");
+            self.slab[entry.slot as usize] = None;
+            self.free.push(entry.slot);
         }
         None
     }
