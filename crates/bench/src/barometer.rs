@@ -34,7 +34,7 @@ use std::path::Path;
 
 /// The PR this working tree belongs to — the default `pr` stamp for
 /// freshly recorded ledger entries.
-pub const CURRENT_PR: u32 = 6;
+pub const CURRENT_PR: u32 = 7;
 
 /// Default ledger location, relative to the repo root.
 pub const LEDGER_PATH: &str = "results/barometer.jsonl";
@@ -288,6 +288,7 @@ impl Scenario {
                 let iters = p.req_int("iters")? as usize;
                 let nodes = p.req_int("nodes")? as u32;
                 let nranks = p.req_int("nranks")? as u32;
+                let threads = (p.int("threads", 1)? as usize).max(1);
                 let mode = match kind.as_str() {
                     "fig8_plain" => Fig8Mode::Plain,
                     "fig8_traced" => Fig8Mode::Traced,
@@ -300,6 +301,7 @@ impl Scenario {
                     warmup,
                     iters,
                     mode,
+                    threads,
                 })
             }
             other => return Err(format!("{file}: unknown kind `{other}`")),
@@ -310,6 +312,14 @@ impl Scenario {
 
     /// Run the scenario at the given scale.
     pub fn run(&self, scale: Scale) -> PerfResult {
+        self.run_with_threads(scale, None)
+    }
+
+    /// Run the scenario at the given scale, optionally overriding the
+    /// worker-pool width. Only the fig8 sweep has independent per-size
+    /// runs to fan out; the other kinds are single-world hot-path probes
+    /// and ignore the override.
+    pub fn run_with_threads(&self, scale: Scale, threads: Option<usize>) -> PerfResult {
         fn pick<T>(scale: Scale, q: T, f: T) -> T {
             match scale {
                 Scale::Quick => q,
@@ -324,7 +334,13 @@ impl Scenario {
                 bench_matching_unexpected_with(pick(scale, quick, full))
             }
             Kind::FlowChurn { quick, full } => bench_flow_churn_with(pick(scale, quick, full)),
-            Kind::Fig8(p) => bench_fig8_with(&self.name, p),
+            Kind::Fig8(p) => {
+                let mut p = *p;
+                if let Some(t) = threads {
+                    p.threads = t.max(1);
+                }
+                bench_fig8_with(&self.name, &p)
+            }
         };
         r.name = self.name.clone();
         r
@@ -384,6 +400,14 @@ pub struct LedgerEntry {
     pub events: u64,
     /// The figure of merit.
     pub events_per_sec: f64,
+    /// Worker threads the scenario ran on (1 = sequential). `diff` and
+    /// `rank` key on this: a threaded measurement is a different series
+    /// from a sequential one and the two are never silently paired.
+    pub threads: u32,
+    /// Logical cores of the recording host (0 on ledger lines written
+    /// before this field existed) — context for reading a threaded
+    /// number recorded on different hardware.
+    pub host_cores: u32,
 }
 
 impl LedgerEntry {
@@ -403,6 +427,21 @@ impl LedgerEntry {
             wall_max_ms: r.wall_max_ms,
             events: r.events,
             events_per_sec: r.events_per_sec,
+            threads: r.threads as u32,
+            host_cores: adapt_sim::WorkerPool::host_threads() as u32,
+        }
+    }
+
+    /// The series this entry belongs to when pairing measurements: the
+    /// scenario name, qualified by the pool width whenever it is not the
+    /// historical sequential default. Sequential entries (including
+    /// pre-field ledger lines) keep the bare scenario name, so the
+    /// recorded history reads unchanged.
+    pub fn series(&self) -> String {
+        if self.threads <= 1 {
+            self.scenario.clone()
+        } else {
+            format!("{}@threads={}", self.scenario, self.threads)
         }
     }
 
@@ -411,7 +450,7 @@ impl LedgerEntry {
         format!(
             "{{\"scenario\": \"{}\", \"pr\": {}, \"rev\": \"{}\", \"scale\": \"{}\", \
              \"wall_ms\": {:.3}, \"wall_min_ms\": {:.3}, \"wall_max_ms\": {:.3}, \
-             \"events\": {}, \"events_per_sec\": {:.1}}}",
+             \"events\": {}, \"events_per_sec\": {:.1}, \"threads\": {}, \"host_cores\": {}}}",
             self.scenario,
             self.pr,
             self.rev,
@@ -420,7 +459,9 @@ impl LedgerEntry {
             self.wall_min_ms,
             self.wall_max_ms,
             self.events,
-            self.events_per_sec
+            self.events_per_sec,
+            self.threads,
+            self.host_cores
         )
     }
 
@@ -479,6 +520,16 @@ impl LedgerEntry {
                 .parse()
                 .map_err(|e| format!("field `events`: {e}"))?,
             events_per_sec: num("events_per_sec")?,
+            // Absent on ledger lines written before the sharded core:
+            // those were all sequential runs on unrecorded hardware.
+            threads: match fields.get("threads") {
+                Some(v) => v.parse().map_err(|e| format!("field `threads`: {e}"))?,
+                None => 1,
+            },
+            host_cores: match fields.get("host_cores") {
+                Some(v) => v.parse().map_err(|e| format!("field `host_cores`: {e}"))?,
+                None => 0,
+            },
         })
     }
 }
@@ -589,20 +640,22 @@ impl DiffRow {
     }
 }
 
-/// Pair up entries per scenario. Entries are grouped by scenario
-/// (ledger order preserved — append order is history order), optionally
-/// filtered to one scale first so quick and full runs never get
-/// compared. Scenarios where either selector comes up empty are skipped.
+/// Pair up entries per series — scenario name qualified by pool width
+/// (see [`LedgerEntry::series`]), so a threaded sweep is never silently
+/// compared against a sequential one. Entries are grouped in ledger
+/// order (append order is history order), optionally filtered to one
+/// scale first so quick and full runs never get compared. Series where
+/// either selector comes up empty are skipped.
 pub fn diff(ledger: &[LedgerEntry], from: &Sel, to: &Sel, scale: Option<&str>) -> Vec<DiffRow> {
-    let mut by_scenario: BTreeMap<&str, Vec<&LedgerEntry>> = BTreeMap::new();
+    let mut by_series: BTreeMap<String, Vec<&LedgerEntry>> = BTreeMap::new();
     for e in ledger {
         if scale.is_some_and(|s| s != e.scale) {
             continue;
         }
-        by_scenario.entry(&e.scenario).or_default().push(e);
+        by_series.entry(e.series()).or_default().push(e);
     }
     let mut out = Vec::new();
-    for (name, entries) in &by_scenario {
+    for (name, entries) in &by_series {
         let (Some(a), Some(b)) = (from.pick(entries), to.pick(entries)) else {
             continue;
         };
@@ -672,12 +725,12 @@ pub fn gate(rows: &[DiffRow], pct: f64) -> Result<(), String> {
 /// *first* recorded entry — the regression and its reclaim read off
 /// directly.
 pub fn render_rank(ledger: &[LedgerEntry], scale: Option<&str>) -> String {
-    let mut by_scenario: BTreeMap<&str, Vec<&LedgerEntry>> = BTreeMap::new();
+    let mut by_scenario: BTreeMap<String, Vec<&LedgerEntry>> = BTreeMap::new();
     for e in ledger {
         if scale.is_some_and(|s| s != e.scale) {
             continue;
         }
-        by_scenario.entry(&e.scenario).or_default().push(e);
+        by_scenario.entry(e.series()).or_default().push(e);
     }
     let mut s = String::new();
     for (name, entries) in &by_scenario {
@@ -728,6 +781,8 @@ pub fn import_legacy(text: &str, pr: u32, rev: &str) -> Result<Vec<LedgerEntry>,
                 wall_max_ms: 0.0,
                 events: 0,
                 events_per_sec: 0.0,
+                threads: 1,
+                host_cores: 0,
             });
         } else if let Some(e) = out.last_mut() {
             if let Some(v) = field(line, "wall_ms") {
@@ -767,6 +822,15 @@ mod tests {
             wall_max_ms: 112.5,
             events: 1_000_000,
             events_per_sec: eps,
+            threads: 1,
+            host_cores: 16,
+        }
+    }
+
+    fn entry_at(scenario: &str, pr: u32, rev: &str, eps: f64, threads: u32) -> LedgerEntry {
+        LedgerEntry {
+            threads,
+            ..entry(scenario, pr, rev, eps)
         }
     }
 
@@ -847,6 +911,55 @@ cout_quick = 300
         let e = entry("matching_posted", 6, "abc1234", 9_876_543.2);
         let parsed = LedgerEntry::parse_line(&e.to_line()).unwrap();
         assert_eq!(parsed, e);
+        // Threaded entries carry their width through the line format.
+        let e = entry_at("fig8_quick_bcast_256", 7, "abc1234", 9e6, 4);
+        let parsed = LedgerEntry::parse_line(&e.to_line()).unwrap();
+        assert_eq!(parsed, e);
+        assert_eq!(parsed.threads, 4);
+    }
+
+    #[test]
+    fn ledger_lines_without_thread_fields_parse_as_sequential() {
+        // A line written before the sharded core existed: no `threads`,
+        // no `host_cores`. It must still load, as a 1-thread entry.
+        let line = "{\"scenario\": \"s1\", \"pr\": 5, \"rev\": \"abcd\", \"scale\": \"quick\", \
+                    \"wall_ms\": 100.000, \"wall_min_ms\": 95.000, \"wall_max_ms\": 112.500, \
+                    \"events\": 1000000, \"events_per_sec\": 1000.0}";
+        let e = LedgerEntry::parse_line(line).unwrap();
+        assert_eq!(e.threads, 1);
+        assert_eq!(e.host_cores, 0);
+        assert_eq!(e.series(), "s1");
+    }
+
+    #[test]
+    fn diff_never_pairs_threaded_with_sequential() {
+        // A 4-thread sweep lands in the ledger after two sequential
+        // entries. prev -> latest must compare sequential against
+        // sequential; the threaded entry is its own series with only one
+        // entry, so it produces no row at all.
+        let ledger = vec![
+            entry("s1", 6, "aaaa", 1000.0),
+            entry("s1", 7, "bbbb", 1010.0),
+            entry_at("s1", 7, "bbbb", 2500.0, 4),
+        ];
+        let rows = diff(&ledger, &Sel::Prev, &Sel::Latest, Some("quick"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].scenario, "s1");
+        assert_eq!(rows[0].from.events_per_sec, 1000.0);
+        assert_eq!(rows[0].to.events_per_sec, 1010.0);
+        assert!(rows[0].to.threads == 1 && rows[0].from.threads == 1);
+        // Once a second threaded entry exists, the threaded series pairs
+        // against itself.
+        let mut ledger = ledger;
+        ledger.push(entry_at("s1", 8, "cccc", 3000.0, 4));
+        let rows = diff(&ledger, &Sel::Prev, &Sel::Latest, Some("quick"));
+        assert_eq!(rows.len(), 2);
+        let threaded = rows
+            .iter()
+            .find(|r| r.scenario.contains("threads=4"))
+            .unwrap();
+        assert_eq!(threaded.from.events_per_sec, 2500.0);
+        assert_eq!(threaded.to.events_per_sec, 3000.0);
     }
 
     #[test]

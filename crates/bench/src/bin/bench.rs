@@ -1,7 +1,7 @@
 //! The barometer CLI: record, compare, and render benchmark history.
 //!
 //! ```text
-//! bench record [--quick] [--pr N] [--rev R] [--filter SUBSTR]
+//! bench record [--quick] [--threads N] [--pr N] [--rev R] [--filter SUBSTR]
 //!              [--ledger results/barometer.jsonl] [--scenarios DIR]
 //! bench diff   [--from SEL] [--to SEL] [--scale quick|full] [--gate PCT]
 //! bench rank   [--scale quick|full]
@@ -17,6 +17,11 @@
 //! `import` backfills the ledger from a legacy `BENCH_PRn.json`
 //! snapshot, taking only its absolute numbers (the folded-in `before_*`
 //! baseline is the chained-ratio bug the ledger replaces).
+//!
+//! `record --threads N` fans the fig8 sweeps out over an N-wide worker
+//! pool (other scenario kinds ignore it). The recorded entries carry the
+//! width, and `diff`/`rank` treat each width as its own series — a
+//! threaded measurement is never paired against a sequential one.
 
 use adapt_bench::barometer::{
     append_entries, diff, gate, import_legacy, load_corpus, load_ledger, render_diff, render_rank,
@@ -30,6 +35,7 @@ struct Cli {
     cmd: String,
     positional: Vec<String>,
     quick: bool,
+    threads: Option<usize>,
     pr: Option<u32>,
     rev: Option<String>,
     ledger: PathBuf,
@@ -46,6 +52,7 @@ fn parse_cli() -> Result<Cli, String> {
         cmd: String::new(),
         positional: Vec::new(),
         quick: false,
+        threads: None,
         pr: None,
         rev: None,
         ledger: PathBuf::from(LEDGER_PATH),
@@ -63,6 +70,15 @@ fn parse_cli() -> Result<Cli, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => cli.quick = true,
+            "--threads" => {
+                let t: usize = value(&mut args, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                cli.threads = Some(t);
+            }
             "--pr" => {
                 cli.pr = Some(
                     value(&mut args, "--pr")?
@@ -129,10 +145,10 @@ fn run(cli: Cli) -> Result<(), String> {
             }
             let mut entries = Vec::new();
             for s in &corpus {
-                let r = s.run(scale);
+                let r = s.run_with_threads(scale, cli.threads);
                 println!(
-                    "{:<32} {:>10.2} ms ({:.2}-{:.2})  {:>12.0} events/s",
-                    r.name, r.wall_ms, r.wall_min_ms, r.wall_max_ms, r.events_per_sec
+                    "{:<32} {:>10.2} ms ({:.2}-{:.2})  {:>12.0} events/s  t{}",
+                    r.name, r.wall_ms, r.wall_min_ms, r.wall_max_ms, r.events_per_sec, r.threads
                 );
                 entries.push(LedgerEntry::from_result(&r, pr, &rev, scale));
             }

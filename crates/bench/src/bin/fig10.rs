@@ -7,10 +7,9 @@
 //! cargo run --release -p adapt-bench --bin fig10 [--scale quick]
 //! ```
 
-use adapt_bench::{parse_args, print_table, Scale};
+use adapt_bench::{parse_args, pool_grid, print_table, Scale};
 use adapt_collectives::{run_once, CollectiveCase, Library, OpKind};
 use adapt_topology::profiles;
-use rayon::prelude::*;
 
 fn main() {
     let args = parse_args();
@@ -30,26 +29,18 @@ fn main() {
     ];
 
     for op in [OpKind::Bcast, OpKind::Reduce] {
-        let cells: Vec<Vec<f64>> = libs
-            .par_iter()
-            .map(|&library| {
-                node_counts
-                    .par_iter()
-                    .map(|&nodes| {
-                        let machine = profiles::cori(nodes);
-                        let nranks = machine.cpu_job_size();
-                        let case = CollectiveCase {
-                            machine,
-                            nranks,
-                            op,
-                            library,
-                            msg_bytes: 4 << 20,
-                        };
-                        run_once(&case, 0.0, 1).0 / 1000.0
-                    })
-                    .collect()
-            })
-            .collect();
+        let cells: Vec<Vec<f64>> = pool_grid(&libs, &node_counts, move |library, nodes| {
+            let machine = profiles::cori(nodes);
+            let nranks = machine.cpu_job_size();
+            let case = CollectiveCase {
+                machine,
+                nranks,
+                op,
+                library,
+                msg_bytes: 4 << 20,
+            };
+            run_once(&case, 0.0, 1).0 / 1000.0
+        });
 
         let header: Vec<String> = node_counts.iter().map(|n| format!("{}p", n * 32)).collect();
         let rows: Vec<(String, Vec<String>)> = libs

@@ -8,11 +8,10 @@
 //! cargo run --release -p adapt-bench --bin fig11 [-- --mode sweep|scaling]
 //! ```
 
-use adapt_bench::{parse_args, print_table};
+use adapt_bench::{parse_args, pool_grid, print_table};
 use adapt_collectives::OpKind;
 use adapt_gpu::{run_gpu_once, GpuCase, GpuLibrary};
 use adapt_topology::profiles;
-use rayon::prelude::*;
 
 const LIBS: [GpuLibrary; 3] = [
     GpuLibrary::Mvapich,
@@ -23,25 +22,17 @@ const LIBS: [GpuLibrary; 3] = [
 fn sweep() {
     let sizes: Vec<u64> = [1u64, 2, 4, 8, 16, 32].iter().map(|m| m << 20).collect();
     for op in [OpKind::Bcast, OpKind::Reduce] {
-        let cells: Vec<Vec<f64>> = LIBS
-            .par_iter()
-            .map(|&library| {
-                sizes
-                    .par_iter()
-                    .map(|&msg_bytes| {
-                        let machine = profiles::psg(8);
-                        let case = GpuCase {
-                            nranks: machine.gpu_job_size(),
-                            machine,
-                            op,
-                            library,
-                            msg_bytes,
-                        };
-                        run_gpu_once(&case).0 / 1000.0
-                    })
-                    .collect()
-            })
-            .collect();
+        let cells: Vec<Vec<f64>> = pool_grid(&LIBS, &sizes, move |library, msg_bytes| {
+            let machine = profiles::psg(8);
+            let case = GpuCase {
+                nranks: machine.gpu_job_size(),
+                machine,
+                op,
+                library,
+                msg_bytes,
+            };
+            run_gpu_once(&case).0 / 1000.0
+        });
         let header: Vec<String> = sizes.iter().map(|s| format!("{}MB", s >> 20)).collect();
         let rows: Vec<(String, Vec<String>)> = LIBS
             .iter()
@@ -76,25 +67,17 @@ fn sweep() {
 fn scaling() {
     let node_counts = [1u32, 2, 4, 8];
     for op in [OpKind::Bcast, OpKind::Reduce] {
-        let cells: Vec<Vec<f64>> = LIBS
-            .par_iter()
-            .map(|&library| {
-                node_counts
-                    .par_iter()
-                    .map(|&nodes| {
-                        let machine = profiles::psg(nodes);
-                        let case = GpuCase {
-                            nranks: machine.gpu_job_size(),
-                            machine,
-                            op,
-                            library,
-                            msg_bytes: 32 << 20,
-                        };
-                        run_gpu_once(&case).0 / 1000.0
-                    })
-                    .collect()
-            })
-            .collect();
+        let cells: Vec<Vec<f64>> = pool_grid(&LIBS, &node_counts, move |library, nodes| {
+            let machine = profiles::psg(nodes);
+            let case = GpuCase {
+                nranks: machine.gpu_job_size(),
+                machine,
+                op,
+                library,
+                msg_bytes: 32 << 20,
+            };
+            run_gpu_once(&case).0 / 1000.0
+        });
         let header: Vec<String> = node_counts
             .iter()
             .map(|n| format!("{}:{}", n, n * 4))

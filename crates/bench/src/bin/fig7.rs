@@ -10,9 +10,8 @@
 //! cargo run --release -p adapt-bench --bin fig7 -- --machine cori [--scale quick]
 //! ```
 
-use adapt_bench::{parse_args, print_table, CpuMachine, Scale};
+use adapt_bench::{parse_args, pool_grid, print_table, CpuMachine, Scale};
 use adapt_collectives::{run_trial, CollectiveCase, Library, NoiseScope, OpKind, Trial};
-use rayon::prelude::*;
 
 fn main() {
     let args = parse_args();
@@ -38,32 +37,26 @@ fn main() {
     let noise_levels = [0.0, 5.0, 10.0];
 
     for op in [OpKind::Bcast, OpKind::Reduce] {
-        let cells: Vec<Vec<f64>> = libs
-            .par_iter()
-            .map(|&library| {
-                noise_levels
-                    .par_iter()
-                    .map(|&noise_percent| {
-                        run_trial(&Trial {
-                            case: CollectiveCase {
-                                machine: spec.clone(),
-                                nranks,
-                                op,
-                                library,
-                                msg_bytes: 4 << 20,
-                            },
-                            noise_percent,
-                            scope: NoiseScope::SparseNodes(4),
-                            iterations,
-                            repeats: 4,
-                            seed: 2018,
-                        })
-                        .mean_us
-                            / 1000.0
-                    })
-                    .collect()
-            })
-            .collect();
+        let spec = spec.clone();
+        let cells: Vec<Vec<f64>> =
+            pool_grid(&libs, &noise_levels, move |library, noise_percent| {
+                run_trial(&Trial {
+                    case: CollectiveCase {
+                        machine: spec.clone(),
+                        nranks,
+                        op,
+                        library,
+                        msg_bytes: 4 << 20,
+                    },
+                    noise_percent,
+                    scope: NoiseScope::SparseNodes(4),
+                    iterations,
+                    repeats: 4,
+                    seed: 2018,
+                })
+                .mean_us
+                    / 1000.0
+            });
 
         let header = vec![
             "no noise".to_string(),

@@ -6,9 +6,8 @@
 //! cargo run --release -p adapt-bench --bin fig8 -- --machine cori [--scale quick]
 //! ```
 
-use adapt_bench::{parse_args, print_table, size_label, CpuMachine, Scale, FIG89_SIZES};
+use adapt_bench::{parse_args, pool_grid, print_table, size_label, CpuMachine, Scale, FIG89_SIZES};
 use adapt_collectives::{run_once, CollectiveCase, IntelAlg, Library, OpKind};
-use rayon::prelude::*;
 
 fn main() {
     let args = parse_args();
@@ -39,24 +38,17 @@ fn main() {
     ];
 
     for (op, libs) in [(OpKind::Bcast, bcast_libs), (OpKind::Reduce, reduce_libs)] {
-        let cells: Vec<Vec<f64>> = libs
-            .par_iter()
-            .map(|&library| {
-                FIG89_SIZES
-                    .par_iter()
-                    .map(|&msg_bytes| {
-                        let case = CollectiveCase {
-                            machine: spec.clone(),
-                            nranks,
-                            op,
-                            library,
-                            msg_bytes,
-                        };
-                        run_once(&case, 0.0, 1).0 / 1000.0
-                    })
-                    .collect()
-            })
-            .collect();
+        let spec = spec.clone();
+        let cells: Vec<Vec<f64>> = pool_grid(&libs, &FIG89_SIZES, move |library, msg_bytes| {
+            let case = CollectiveCase {
+                machine: spec.clone(),
+                nranks,
+                op,
+                library,
+                msg_bytes,
+            };
+            run_once(&case, 0.0, 1).0 / 1000.0
+        });
 
         let header: Vec<String> = FIG89_SIZES.iter().map(|&s| size_label(s)).collect();
         let rows: Vec<(String, Vec<String>)> = libs

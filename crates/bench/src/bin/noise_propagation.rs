@@ -12,7 +12,7 @@
 //! cargo run --release -p adapt-bench --bin noise_propagation [--scale quick]
 //! ```
 
-use adapt_bench::{parse_args, print_table, Scale};
+use adapt_bench::{parse_args, pool_map, print_table, Scale};
 use adapt_collectives::{run_trial, CollectiveCase, Library, NoiseScope, OpKind, Trial};
 use adapt_core::{topology_aware_tree, TopoTreeConfig, Tree};
 use adapt_mpi::World;
@@ -20,7 +20,6 @@ use adapt_noise::{ClusterNoise, DurationLaw, NoiseSpec};
 use adapt_sim::rng::MasterSeed;
 use adapt_sim::time::Duration;
 use adapt_topology::{profiles, Placement};
-use rayon::prelude::*;
 
 fn main() {
     let args = parse_args();
@@ -40,38 +39,36 @@ fn main() {
         (Library::OmpiAdapt, "ADAPT event-driven (Alg 3)"),
     ];
 
-    let rows: Vec<(String, Vec<String>)> = libs
-        .par_iter()
-        .map(|&(library, label)| {
-            let mk = |noise: f64| {
-                run_trial(&Trial {
-                    case: CollectiveCase {
-                        machine: machine.clone(),
-                        nranks,
-                        op: OpKind::Bcast,
-                        library,
-                        msg_bytes: 4 << 20,
-                    },
-                    noise_percent: noise,
-                    scope: NoiseScope::SingleRank(victim),
-                    iterations,
-                    repeats: 3,
-                    seed: 99,
-                })
-                .mean_us
-            };
-            let clean = mk(0.0);
-            let noisy = mk(10.0);
-            (
-                label.to_string(),
-                vec![
-                    format!("{:.2}ms", clean / 1000.0),
-                    format!("{:.2}ms", noisy / 1000.0),
-                    format!("{:.0}%", (noisy / clean - 1.0) * 100.0),
-                ],
-            )
-        })
-        .collect();
+    let trial_machine = machine.clone();
+    let rows: Vec<(String, Vec<String>)> = pool_map(libs.to_vec(), move |(library, label)| {
+        let mk = |noise: f64| {
+            run_trial(&Trial {
+                case: CollectiveCase {
+                    machine: trial_machine.clone(),
+                    nranks,
+                    op: OpKind::Bcast,
+                    library,
+                    msg_bytes: 4 << 20,
+                },
+                noise_percent: noise,
+                scope: NoiseScope::SingleRank(victim),
+                iterations,
+                repeats: 3,
+                seed: 99,
+            })
+            .mean_us
+        };
+        let clean = mk(0.0);
+        let noisy = mk(10.0);
+        (
+            label.to_string(),
+            vec![
+                format!("{:.2}ms", clean / 1000.0),
+                format!("{:.2}ms", noisy / 1000.0),
+                format!("{:.0}%", (noisy / clean - 1.0) * 100.0),
+            ],
+        )
+    });
 
     print_table(
         &format!("Noise propagation: 10% noise on single rank {victim} of {nranks}, 4MB broadcast"),

@@ -13,11 +13,10 @@
 //! ```
 
 use adapt_apps::{run_asp, AspConfig};
-use adapt_bench::{parse_args, print_table, Scale};
+use adapt_bench::{parse_args, pool_map, print_table, Scale};
 use adapt_collectives::Library;
 use adapt_sim::time::Duration;
 use adapt_topology::profiles;
-use rayon::prelude::*;
 
 fn main() {
     let args = parse_args();
@@ -39,19 +38,17 @@ fn main() {
         Library::OmpiDefault, // "OMPI-tuned" in the paper's Table 1
     ];
 
-    let results: Vec<_> = libs
-        .par_iter()
-        .map(|&library| {
-            run_asp(&AspConfig {
-                machine: machine.clone(),
-                nranks,
-                library,
-                row_bytes: 1 << 20,
-                iterations,
-                compute_per_iter,
-            })
+    let asp_machine = machine.clone();
+    let results: Vec<_> = pool_map(libs.to_vec(), move |library| {
+        run_asp(&AspConfig {
+            machine: asp_machine.clone(),
+            nranks,
+            library,
+            row_bytes: 1 << 20,
+            iterations,
+            compute_per_iter,
         })
-        .collect();
+    });
 
     let header = vec![
         "comm (ms)".to_string(),

@@ -21,7 +21,47 @@
 pub mod barometer;
 pub mod perf;
 
+use adapt_sim::WorkerPool;
 use std::collections::HashMap;
+
+/// Evaluate a `rows × cols` grid of independent simulations on a
+/// [`WorkerPool`] spanning the host's cores, returning cells in row-major
+/// order. Every cell builds its own world inside the job, so the grid is
+/// embarrassingly parallel and the results are identical to the
+/// sequential nest at any pool width (the pool preserves submission
+/// order). This replaces the old `rayon::par_iter` nests in the figure
+/// binaries — the vendored rayon is a sequential stub.
+pub fn pool_grid<R, C, T, F>(rows: &[R], cols: &[C], f: F) -> Vec<Vec<T>>
+where
+    R: Clone + Send + 'static,
+    C: Clone + Send + 'static,
+    T: Send + 'static,
+    F: Fn(R, C) -> T + Send + Sync + 'static,
+{
+    let pool = WorkerPool::new(WorkerPool::host_threads());
+    let items: Vec<(R, C)> = rows
+        .iter()
+        .flat_map(|r| cols.iter().map(|c| (r.clone(), c.clone())))
+        .collect();
+    let mut flat = pool.map(items, move |(r, c)| f(r, c)).into_iter();
+    rows.iter()
+        .map(|_| {
+            (0..cols.len())
+                .map(|_| flat.next().expect("grid"))
+                .collect()
+        })
+        .collect()
+}
+
+/// One pooled map over `items` across the host's cores, order-preserving.
+pub fn pool_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> T + Send + Sync + 'static,
+{
+    WorkerPool::new(WorkerPool::host_threads()).map(items, f)
+}
 
 /// Crude `--key value` argument parser (no external deps).
 pub fn parse_args() -> HashMap<String, String> {

@@ -35,6 +35,7 @@ use adapt_noise::ClusterNoise;
 use adapt_obs::MemRecorder;
 use adapt_sim::queue::{EventKey, EventQueue};
 use adapt_sim::time::{Duration as SimDuration, Time};
+use adapt_sim::WorkerPool;
 use adapt_topology::profiles;
 use std::time::Instant;
 
@@ -57,6 +58,10 @@ pub struct PerfResult {
     pub match_probes: u64,
     /// Fair-share recomputations in one iteration (0 where untracked).
     pub share_recomputes: u64,
+    /// Worker threads the scenario ran on (1 = the sequential engine).
+    /// Throughput at different widths is not comparable — the ledger keys
+    /// on this so a diff never pairs them silently.
+    pub threads: usize,
 }
 
 /// Wall-clock distribution of one timed scenario: the median that gets
@@ -408,6 +413,7 @@ pub fn bench_flow_churn_with(p: &ChurnParams) -> PerfResult {
         events_per_sec: events as f64 / (t.median_ms / 1e3),
         match_probes: 0,
         share_recomputes: perf.share_recomputes,
+        threads: 1,
     }
 }
 
@@ -443,6 +449,10 @@ pub struct Fig8Params {
     pub iters: usize,
     /// Attachment under test.
     pub mode: Fig8Mode,
+    /// Worker-pool width for the sweep: the per-size runs are independent
+    /// worlds, so the pool maps one run per thread (largest sizes first).
+    /// 1 keeps the historical sequential sweep, inline on this thread.
+    pub threads: usize,
 }
 
 impl Fig8Params {
@@ -453,6 +463,7 @@ impl Fig8Params {
             warmup: 1,
             iters: 3,
             mode,
+            threads: 1,
         }
     }
 }
@@ -503,8 +514,43 @@ pub fn bench_fig8_lossy(scale: Scale) -> PerfResult {
     )
 }
 
+/// One size of the fig8 sweep under `mode`'s attachment.
+fn run_fig8_size(case: &CollectiveCase, mode: Fig8Mode) -> WorldStats {
+    match mode {
+        Fig8Mode::Plain => run_once(case, 0.0, 1).1,
+        Fig8Mode::Traced => {
+            let (world, programs) = world_for_case(case, NoiseScope::PerNode, 0.0, 1);
+            let res = world
+                .with_recorder(Box::new(MemRecorder::with_metrics(10_000)))
+                .run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            let obs = res.obs.expect("recorded run carries observability data");
+            assert!(!obs.dispatches.is_empty() && !obs.gauges.is_empty());
+            res.stats
+        }
+        Fig8Mode::InertFaults => {
+            let (world, programs) = world_for_case(case, NoiseScope::PerNode, 0.0, 1);
+            let res = world.with_faults(FaultPlan::lossy(1, 0.0)).run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            res.stats
+        }
+        Fig8Mode::Lossy(p_loss) => {
+            let (world, programs) = world_for_case(case, NoiseScope::PerNode, 0.0, 1);
+            let plan = FaultPlan::lossy(1, p_loss).with_rto(SimDuration::from_micros(80));
+            let res = world.with_faults(plan).run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            assert!(res.stats.retransmits > 0, "loss must exercise recovery");
+            res.stats
+        }
+    }
+}
+
 /// The fig8 sweep with explicit parameters: one collective run per
 /// message size, with `p.mode`'s attachment, summed stats per iteration.
+/// At `p.threads > 1` the independent per-size runs are fanned out on a
+/// [`WorkerPool`] (largest sizes first, so the longest run starts
+/// earliest); the summed counters are commutative, so the recorded totals
+/// are identical at any width — only the wall clock moves.
 pub fn bench_fig8_with(name: &str, p: &Fig8Params) -> PerfResult {
     let sizes: &[u64] = &FIG89_SIZES;
     let spec = profiles::cori(p.nodes);
@@ -535,44 +581,33 @@ pub fn bench_fig8_with(name: &str, p: &Fig8Params) -> PerfResult {
             assert_eq!(res.per_rank_finish, plain.per_rank_finish);
         }
     }
+    let threads = p.threads.max(1);
+    let pool = WorkerPool::new(threads);
+    // Longest-processing-time-first: the 4 MB run dominates the sweep, so
+    // it must be in flight from the first instant for the pool to pay off.
+    let mut order: Vec<u64> = sizes.to_vec();
+    order.sort_unstable_by(|a, b| b.cmp(a));
+    let mode = p.mode;
     let (t, stats_sum) = time_median(p.warmup, p.iters, || {
+        let jobs: Vec<Box<dyn FnOnce() -> WorldStats + Send>> = order
+            .iter()
+            .map(|&msg_bytes| {
+                let case = mk_case(msg_bytes);
+                Box::new(move || run_fig8_size(&case, mode))
+                    as Box<dyn FnOnce() -> WorldStats + Send>
+            })
+            .collect();
         let mut sum = WorldStats::default();
-        for &msg_bytes in sizes {
-            let case = mk_case(msg_bytes);
-            let stats = match p.mode {
-                Fig8Mode::Plain => run_once(&case, 0.0, 1).1,
-                Fig8Mode::Traced => {
-                    let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
-                    let res = world
-                        .with_recorder(Box::new(MemRecorder::with_metrics(10_000)))
-                        .run(programs);
-                    assert!(res.audit.is_clean(), "{}", res.audit);
-                    let obs = res.obs.expect("recorded run carries observability data");
-                    assert!(!obs.dispatches.is_empty() && !obs.gauges.is_empty());
-                    res.stats
-                }
-                Fig8Mode::InertFaults => {
-                    let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
-                    let res = world.with_faults(FaultPlan::lossy(1, 0.0)).run(programs);
-                    assert!(res.audit.is_clean(), "{}", res.audit);
-                    res.stats
-                }
-                Fig8Mode::Lossy(p_loss) => {
-                    let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
-                    let plan = FaultPlan::lossy(1, p_loss).with_rto(SimDuration::from_micros(80));
-                    let res = world.with_faults(plan).run(programs);
-                    assert!(res.audit.is_clean(), "{}", res.audit);
-                    assert!(res.stats.retransmits > 0, "loss must exercise recovery");
-                    res.stats
-                }
-            };
+        for stats in pool.run_batch(jobs) {
             sum.events += stats.events;
             sum.match_probes += stats.match_probes;
             sum.net_share_recomputes += stats.net_share_recomputes;
         }
         sum
     });
-    result(name, t, stats_sum)
+    let mut r = result(name, t, stats_sum);
+    r.threads = threads;
+    r
 }
 
 fn result(name: &str, t: Timing, stats: WorldStats) -> PerfResult {
@@ -585,6 +620,7 @@ fn result(name: &str, t: Timing, stats: WorldStats) -> PerfResult {
         events_per_sec: stats.events as f64 / (t.median_ms / 1e3),
         match_probes: stats.match_probes,
         share_recomputes: stats.net_share_recomputes,
+        threads: 1,
     }
 }
 
@@ -667,6 +703,7 @@ pub fn to_json(scale: Scale, results: &[PerfResult], baselines: &[(String, Basel
             "      \"events_per_sec\": {:.1},\n",
             r.events_per_sec
         ));
+        s.push_str(&format!("      \"threads\": {},\n", r.threads));
         s.push_str(&format!("      \"match_probes\": {},\n", r.match_probes));
         s.push_str(&format!(
             "      \"share_recomputes\": {}",
@@ -740,6 +777,7 @@ mod tests {
             events_per_sec: 80_000.0,
             match_probes: 42,
             share_recomputes: 7,
+            threads: 1,
         }];
         let json = to_json(Scale::Quick, &results, &[]);
         let parsed = parse_baseline(&json);
@@ -786,6 +824,27 @@ mod tests {
         assert_eq!(plain.makespan, mem.makespan);
         assert!(plain.obs.is_none() && null.obs.is_none());
         assert!(mem.obs.is_some());
+    }
+
+    #[test]
+    fn fig8_totals_are_pool_width_invariant() {
+        // The pooled sweep only reorders which world runs when; the summed
+        // counters must not notice the pool width.
+        let mk = |threads| Fig8Params {
+            nodes: 1,
+            nranks: 32,
+            warmup: 0,
+            iters: 1,
+            mode: Fig8Mode::Plain,
+            threads,
+        };
+        let seq = bench_fig8_with("fig8_width_probe", &mk(1));
+        let par = bench_fig8_with("fig8_width_probe", &mk(4));
+        assert_eq!(seq.events, par.events);
+        assert_eq!(seq.match_probes, par.match_probes);
+        assert_eq!(seq.share_recomputes, par.share_recomputes);
+        assert_eq!(seq.threads, 1);
+        assert_eq!(par.threads, 4);
     }
 
     #[test]

@@ -1,0 +1,756 @@
+//! Sharded conservative parallel discrete-event simulation.
+//!
+//! Two pieces live here, both built on the slab-indirect
+//! [`EventQueue`](crate::queue::EventQueue):
+//!
+//! 1. [`ShardedQueue`] — a set of per-shard event queues sharing **one
+//!    global sequence counter**, merged on pop by the packed
+//!    `(time, seq)` u128 key. Because the counter is global and the key
+//!    is a strict total order, the merged pop order is *exactly* the
+//!    single-queue pop order: a simulation can partition its events by
+//!    shard (rank/node) and remain byte-identical to the unsharded
+//!    engine. The queue also does the epoch accounting: with a lookahead
+//!    `L` (minimum cross-shard link latency), consecutive pops within an
+//!    `[t, t+L)` window belong to one *epoch* — the window a
+//!    conservatively synchronized executor may hand to worker threads —
+//!    and every event scheduled from one shard's context into another
+//!    shard is counted as cross-shard traffic. Epoch count and
+//!    cross-shard count are pure functions of the event stream, never of
+//!    the thread count.
+//!
+//! 2. [`ShardSim`] — the threaded epoch executor for models whose shards
+//!    interact **only** through explicitly declared lookahead: per-shard
+//!    state and queue, an LBTS (lower bound on timestamp) barrier per
+//!    epoch on a [`WorkerPool`], and deterministic cross-shard delivery.
+//!    Within an epoch every shard runs on its own worker thread;
+//!    conservative synchronization guarantees no event processed in an
+//!    epoch could be affected by a cross-shard send generated in the same
+//!    epoch (all such sends arrive at or after the epoch horizon).
+//!    Incoming cross-shard events are merged in `(time, origin shard,
+//!    emission index)` order — a total order independent of thread
+//!    scheduling — so results are byte-identical at any thread count.
+//!
+//! The split is deliberate: the MPI world's shards share a globally
+//! coupled fair-share network (a flow launched on one node instantly
+//! changes every contending flow's share — zero lookahead), so the world
+//! uses [`ShardedQueue`]'s exact merge; models that *do* declare positive
+//! lookahead (and sweeps of independent runs) get real parallelism from
+//! [`ShardSim`] and the pool.
+
+use crate::fxhash::FxHashMap;
+use crate::pool::WorkerPool;
+use crate::queue::{EventKey, EventQueue, QueueAudit};
+use crate::time::{Duration, Time};
+
+/// Pack a `(time, seq)` pair into the branchless comparison key used by
+/// the heap and the cross-shard merge.
+#[inline]
+fn pack(time: Time, seq: u64) -> u128 {
+    ((time.0 as u128) << 64) | seq as u128
+}
+
+// ---------------------------------------------------------------------------
+// ShardedQueue: exact-order merge across per-shard queues
+// ---------------------------------------------------------------------------
+
+/// Counters describing the sharded queue's epoch structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Conservative LBTS windows (of one lookahead each) the run's event
+    /// stream partitions into.
+    pub par_epochs: u64,
+    /// Events scheduled from one shard's execution context into another
+    /// shard's queue.
+    pub cross_shard_events: u64,
+}
+
+/// Per-shard event queues sharing one global sequence counter, merged on
+/// pop by `(time, seq)` — pop order is byte-identical to a single
+/// [`EventQueue`] fed the same schedule calls.
+pub struct ShardedQueue<E> {
+    shards: Vec<EventQueue<E>>,
+    route: Box<dyn Fn(&E) -> usize>,
+    /// One counter across all sub-queues; this is what makes the merge
+    /// exact.
+    next_seq: u64,
+    /// Shard each *tracked* (cancellable) pending seq lives in.
+    tracked: FxHashMap<u64, u32>,
+    /// Global clock: time of the last merged pop.
+    now: Time,
+    /// Sum of sub-queue live counts, cached for O(1) `len`.
+    live: usize,
+    /// Schedule calls that targeted the past and were clamped forward.
+    causality_violations: u64,
+    /// Shard whose event is currently being processed (the origin of any
+    /// schedules made until the next pop).
+    cur_shard: usize,
+    /// True once the first event popped — schedules before that are
+    /// initial seeding, not cross-shard traffic.
+    started: bool,
+    /// Conservative lookahead: epoch windows are `[t, t + lookahead)`.
+    lookahead: Duration,
+    /// Exclusive end of the current epoch window.
+    epoch_end: Time,
+    counters: ShardCounters,
+}
+
+impl<E> ShardedQueue<E> {
+    /// Create `nshards` sub-queues. `route` maps an event to its owning
+    /// shard (values are taken modulo `nshards`); `lookahead` is the
+    /// minimum cross-shard latency used for epoch accounting and must be
+    /// positive.
+    pub fn new(
+        nshards: usize,
+        lookahead: Duration,
+        route: impl Fn(&E) -> usize + 'static,
+    ) -> ShardedQueue<E> {
+        assert!(nshards >= 1, "at least one shard");
+        assert!(!lookahead.is_zero(), "lookahead must be positive");
+        ShardedQueue {
+            shards: (0..nshards).map(|_| EventQueue::new()).collect(),
+            route: Box::new(route),
+            next_seq: 0,
+            tracked: FxHashMap::default(),
+            now: Time::ZERO,
+            live: 0,
+            causality_violations: 0,
+            cur_shard: 0,
+            started: false,
+            lookahead,
+            epoch_end: Time::ZERO,
+            counters: ShardCounters::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Epoch/cross-shard counters accumulated so far.
+    pub fn counters(&self) -> ShardCounters {
+        self.counters
+    }
+
+    fn clamp(&mut self, time: Time) -> Time {
+        if time < self.now {
+            self.causality_violations += 1;
+        }
+        time.max(self.now)
+    }
+
+    fn dst(&mut self, ev: &E) -> usize {
+        let dst = (self.route)(ev) % self.shards.len();
+        if self.started && dst != self.cur_shard {
+            self.counters.cross_shard_events += 1;
+        }
+        dst
+    }
+
+    /// Schedule with a cancellation handle (see [`EventQueue::schedule`]).
+    pub fn schedule(&mut self, time: Time, payload: E) -> EventKey {
+        let time = self.clamp(time);
+        let dst = self.dst(&payload);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.shards[dst].push_with_seq(time, seq, payload, true);
+        self.tracked.insert(seq, dst as u32);
+        self.live += 1;
+        EventKey::from_seq(seq)
+    }
+
+    /// Fast-path schedule without a cancellation handle (see
+    /// [`EventQueue::schedule_untracked`]).
+    pub fn schedule_untracked(&mut self, time: Time, payload: E) {
+        let time = self.clamp(time);
+        let dst = self.dst(&payload);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.shards[dst].push_with_seq(time, seq, payload, false);
+        self.live += 1;
+    }
+
+    /// Cancel a previously scheduled event; true if it was still pending.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let Some(shard) = self.tracked.remove(&key.seq()) else {
+            return false;
+        };
+        let hit = self.shards[shard as usize].cancel(key);
+        debug_assert!(hit, "tracked map and sub-queue pending set agree");
+        if hit {
+            self.live -= 1;
+        }
+        hit
+    }
+
+    /// Remove and return the globally earliest live event — the shard
+    /// queues merged by `(time, seq)`.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let mut best: Option<(u128, usize)> = None;
+        for (i, q) in self.shards.iter_mut().enumerate() {
+            if let Some((t, seq)) = q.peek_key() {
+                let key = pack(t, seq);
+                if best.map(|(k, _)| key < k).unwrap_or(true) {
+                    best = Some((key, i));
+                }
+            }
+        }
+        let (_, shard) = best?;
+        let (time, seq, tracked, ev) = self.shards[shard].pop_full().expect("peeked shard pops");
+        if tracked {
+            self.tracked.remove(&seq);
+        }
+        self.live -= 1;
+        self.now = time;
+        self.cur_shard = shard;
+        self.started = true;
+        if time >= self.epoch_end {
+            self.counters.par_epochs += 1;
+            self.epoch_end = time + self.lookahead;
+        }
+        Some((time, ev))
+    }
+
+    /// Time of the globally earliest live event.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.shards.iter_mut().filter_map(|q| q.peek_time()).min()
+    }
+
+    /// Number of live scheduled events across all shards.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events remain anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The global clock: time of the last merged pop.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule calls that targeted the past and were clamped forward.
+    pub fn causality_violations(&self) -> u64 {
+        self.causality_violations
+    }
+
+    /// Aggregate audit across all sub-queues. Causality violations are
+    /// counted here (the global clamp), not in the sub-queues.
+    pub fn audit(&self) -> QueueAudit {
+        let mut agg = QueueAudit {
+            causality_violations: self.causality_violations,
+            ..QueueAudit::default()
+        };
+        for q in &self.shards {
+            let a = q.audit();
+            agg.reported_live += a.reported_live;
+            agg.actual_live += a.actual_live;
+            agg.heap_total += a.heap_total;
+        }
+        agg
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardSim: threaded conservative epoch executor
+// ---------------------------------------------------------------------------
+
+/// Shard-local event handler. One model instance per shard; a shard's
+/// model is only ever touched by that shard's events, in deterministic
+/// `(time, seq)` order.
+pub trait ShardModel: Send + 'static {
+    /// Event payload exchanged between shards.
+    type Event: Send + 'static;
+
+    /// Handle one event at simulated time `now`, emitting follow-up
+    /// events through `out`.
+    fn handle(&mut self, now: Time, ev: Self::Event, out: &mut Outbox<Self::Event>);
+}
+
+/// A cross-shard send captured during an epoch, with enough provenance to
+/// merge deterministically: `(time, origin shard, emission index)` is a
+/// total order independent of which worker thread ran which shard when.
+struct RemoteSend<E> {
+    dst: usize,
+    time: Time,
+    origin: u32,
+    emit: u64,
+    ev: E,
+}
+
+/// Where a model emits follow-up events from inside `handle`.
+pub struct Outbox<E> {
+    shard: usize,
+    nshards: usize,
+    now: Time,
+    lookahead: Duration,
+    local: Vec<(Time, E)>,
+    remote: Vec<RemoteSend<E>>,
+    /// Monotone per-shard emission counter (persists across epochs) —
+    /// the tiebreaker of the cross-shard merge order.
+    emit: u64,
+}
+
+impl<E> Outbox<E> {
+    /// The shard this handler runs on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of shards in the simulation.
+    pub fn nshards(&self) -> usize {
+        self.nshards
+    }
+
+    /// Schedule `ev` on shard `dst` at absolute time `at`.
+    ///
+    /// Sends to the local shard may target any time `>= now`; sends to
+    /// another shard must respect the declared lookahead (`at >= now +
+    /// lookahead`) — that promise is what lets every shard run an entire
+    /// epoch without observing its neighbours, and it is asserted, not
+    /// trusted.
+    pub fn send(&mut self, dst: usize, at: Time, ev: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        if dst == self.shard {
+            self.local.push((at, ev));
+        } else {
+            assert!(
+                at >= self.now + self.lookahead,
+                "cross-shard send at {at:?} violates lookahead {:?} (now {:?})",
+                self.lookahead,
+                self.now
+            );
+            self.remote.push(RemoteSend {
+                dst,
+                time: at,
+                origin: self.shard as u32,
+                emit: self.emit,
+                ev,
+            });
+            self.emit += 1;
+        }
+    }
+}
+
+/// One shard: its model, queue, and emission counter. Moved wholesale
+/// into a pool job each epoch and moved back with the epoch's output.
+struct ShardState<M: ShardModel> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    emit: u64,
+    processed: u64,
+}
+
+impl<M: ShardModel> ShardState<M> {
+    /// Pop-and-handle every event strictly before `horizon`. Local sends
+    /// land back in this queue (and may still fire within the epoch);
+    /// cross-shard sends are returned for the post-barrier merge.
+    fn run_epoch(
+        &mut self,
+        shard: usize,
+        nshards: usize,
+        horizon: Time,
+        lookahead: Duration,
+    ) -> Vec<RemoteSend<M::Event>> {
+        let mut out = Outbox {
+            shard,
+            nshards,
+            now: Time::ZERO,
+            lookahead,
+            local: Vec::new(),
+            remote: Vec::new(),
+            emit: self.emit,
+        };
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event pops");
+            out.now = t;
+            self.model.handle(t, ev, &mut out);
+            for (at, ev) in out.local.drain(..) {
+                self.queue.schedule_untracked(at, ev);
+            }
+            self.processed += 1;
+        }
+        self.emit = out.emit;
+        out.remote
+    }
+}
+
+/// Run statistics of a [`ShardSim`] execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// LBTS epoch barriers crossed.
+    pub epochs: u64,
+    /// Events processed across all shards.
+    pub events: u64,
+    /// Cross-shard events exchanged at epoch barriers.
+    pub cross_shard_events: u64,
+}
+
+/// A conservatively synchronized multi-shard simulation.
+///
+/// Epoch loop: compute the LBTS (minimum next event time across shards),
+/// let every shard process all events in `[LBTS, LBTS + lookahead)` on
+/// the pool (barrier), then merge the epoch's cross-shard sends in
+/// `(time, origin, emission)` order. Conservative correctness: any
+/// cross-shard send is generated at some `t >= LBTS` and arrives at
+/// `t + lookahead >= LBTS + lookahead`, i.e. at or after the horizon —
+/// no event processed this epoch could have been affected by it.
+pub struct ShardSim<M: ShardModel> {
+    states: Vec<ShardState<M>>,
+    lookahead: Duration,
+}
+
+/// One epoch's worth of work for one shard, shipped to a pool worker:
+/// returns the shard (moved back) and its cross-shard sends.
+type EpochJob<M> =
+    Box<dyn FnOnce() -> (ShardState<M>, Vec<RemoteSend<<M as ShardModel>::Event>>) + Send>;
+
+impl<M: ShardModel> ShardSim<M> {
+    /// One model per shard; `lookahead` must be positive.
+    pub fn new(models: Vec<M>, lookahead: Duration) -> ShardSim<M> {
+        assert!(!models.is_empty(), "at least one shard");
+        assert!(!lookahead.is_zero(), "lookahead must be positive");
+        ShardSim {
+            states: models
+                .into_iter()
+                .map(|model| ShardState {
+                    model,
+                    queue: EventQueue::new(),
+                    emit: 0,
+                    processed: 0,
+                })
+                .collect(),
+            lookahead,
+        }
+    }
+
+    /// Seed an initial event on `shard` before running.
+    pub fn seed(&mut self, shard: usize, at: Time, ev: M::Event) {
+        self.states[shard].queue.schedule_untracked(at, ev);
+    }
+
+    /// Run to completion on `pool`, returning the final per-shard models
+    /// (in shard order) and the run statistics. Results are byte-identical
+    /// for any pool width, including 1.
+    pub fn run(mut self, pool: &WorkerPool) -> (Vec<M>, ShardRunStats) {
+        let nshards = self.states.len();
+        let lookahead = self.lookahead;
+        let mut stats = ShardRunStats::default();
+        loop {
+            let lbts = self
+                .states
+                .iter_mut()
+                .filter_map(|s| s.queue.peek_time())
+                .min();
+            let Some(lbts) = lbts else { break };
+            let horizon = lbts + lookahead;
+            stats.epochs += 1;
+            // Epoch execution: every shard advances to the horizon. With a
+            // real pool the shards are moved into jobs and run on worker
+            // threads; run_batch is the epoch barrier and returns them in
+            // shard order either way.
+            let mut sends: Vec<RemoteSend<M::Event>> = if pool.threads() == 1 || nshards == 1 {
+                let mut all = Vec::new();
+                for (i, st) in self.states.iter_mut().enumerate() {
+                    all.extend(st.run_epoch(i, nshards, horizon, lookahead));
+                }
+                all
+            } else {
+                let jobs: Vec<EpochJob<M>> = self
+                    .states
+                    .drain(..)
+                    .enumerate()
+                    .map(|(i, mut st)| {
+                        Box::new(move || {
+                            let sends = st.run_epoch(i, nshards, horizon, lookahead);
+                            (st, sends)
+                        }) as EpochJob<M>
+                    })
+                    .collect();
+                let mut all = Vec::new();
+                for (st, sends) in pool.run_batch(jobs) {
+                    self.states.push(st);
+                    all.extend(sends);
+                }
+                all
+            };
+            // Deterministic merge: a total order on provenance, independent
+            // of thread scheduling. Sub-queue insertion order fixes local
+            // sequence numbers, so downstream pop order is fixed too.
+            sends.sort_by_key(|s| (s.time, s.origin, s.emit));
+            stats.cross_shard_events += sends.len() as u64;
+            for s in sends {
+                debug_assert!(s.time >= horizon, "conservative horizon violated");
+                self.states[s.dst].queue.schedule_untracked(s.time, s.ev);
+            }
+        }
+        stats.events = self.states.iter().map(|s| s.processed).sum();
+        (self.states.into_iter().map(|s| s.model).collect(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- ShardedQueue ------------------------------------------------------
+
+    /// Feed the same interleaved schedule/cancel/pop script to a plain
+    /// EventQueue and a ShardedQueue; the popped streams must be
+    /// identical, event for event.
+    #[test]
+    fn sharded_merge_equals_single_queue() {
+        let mut single: EventQueue<u64> = EventQueue::new();
+        let mut sharded: ShardedQueue<u64> =
+            ShardedQueue::new(3, Duration::from_nanos(50), |v| (*v % 3) as usize);
+        let mut keys_s = Vec::new();
+        let mut keys_m = Vec::new();
+        // A deterministic pseudo-random script: schedule with scattered
+        // times (many ties), interleave tracked/untracked, cancel some.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = Time((x >> 33) % 97);
+            if i % 3 == 0 {
+                keys_s.push(single.schedule(t, i));
+                keys_m.push(sharded.schedule(t, i));
+            } else {
+                single.schedule_untracked(t, i);
+                sharded.schedule_untracked(t, i);
+            }
+        }
+        for (ks, km) in keys_s.iter().zip(&keys_m).step_by(2) {
+            assert_eq!(single.cancel(*ks), sharded.cancel(*km));
+        }
+        assert_eq!(single.len(), sharded.len());
+        loop {
+            let a = single.pop();
+            let b = sharded.pop();
+            assert_eq!(a, b, "merged pop order diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+        let (a, b) = (single.audit(), sharded.audit());
+        assert!(a.is_consistent() && b.is_consistent());
+        assert_eq!(a.reported_live, 0);
+        assert_eq!(b.reported_live, 0);
+    }
+
+    #[test]
+    fn sharded_pop_interleaves_schedules_like_single_queue() {
+        // Schedule-during-pop: each popped value reschedules a follow-up,
+        // crossing shards; order must still match the single queue.
+        let route = |v: &u64| (*v % 4) as usize;
+        let mut single: EventQueue<u64> = EventQueue::new();
+        let mut sharded: ShardedQueue<u64> = ShardedQueue::new(4, Duration::from_nanos(10), route);
+        for i in 0..16u64 {
+            single.schedule_untracked(Time(i % 5), i);
+            sharded.schedule_untracked(Time(i % 5), i);
+        }
+        let mut n = 0u64;
+        loop {
+            match (single.pop(), sharded.pop()) {
+                (Some((ta, va)), Some((tb, vb))) => {
+                    assert_eq!((ta, va), (tb, vb));
+                    n += 1;
+                    if n < 200 {
+                        // Same follow-up into both queues.
+                        let nt = ta + Duration::from_nanos(3 + va % 7);
+                        single.schedule_untracked(nt, va + 1);
+                        sharded.schedule_untracked(nt, va + 1);
+                    }
+                }
+                (None, None) => break,
+                (a, b) => panic!("queues diverged: {a:?} vs {b:?}"),
+            }
+        }
+        // Epoch accounting is busy and deterministic.
+        let c = sharded.counters();
+        assert!(c.par_epochs > 0);
+        assert!(c.cross_shard_events > 0, "the +1 walk crosses shards");
+    }
+
+    #[test]
+    fn sharded_counters_are_a_pure_function_of_the_event_stream() {
+        let run = || {
+            let mut q: ShardedQueue<u64> =
+                ShardedQueue::new(5, Duration::from_nanos(20), |v| (*v % 5) as usize);
+            for i in 0..50u64 {
+                q.schedule_untracked(Time(i * 7 % 31), i);
+            }
+            let mut popped = 0;
+            while let Some((t, v)) = q.pop() {
+                if popped < 300 {
+                    q.schedule_untracked(t + Duration::from_nanos(1 + v % 13), v + 1);
+                }
+                popped += 1;
+            }
+            (q.counters(), popped)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn seeding_before_the_first_pop_is_not_cross_shard_traffic() {
+        let mut q: ShardedQueue<u64> =
+            ShardedQueue::new(4, Duration::from_nanos(10), |v| (*v % 4) as usize);
+        for i in 0..12u64 {
+            q.schedule_untracked(Time(0), i);
+        }
+        assert_eq!(q.counters().cross_shard_events, 0);
+    }
+
+    // -- ShardSim ----------------------------------------------------------
+
+    /// A PHOLD-style token-passing model: each event mixes the shard's
+    /// hash state and forwards the token to a pseudo-random shard at a
+    /// pseudo-random delay >= lookahead, until its hop budget runs out.
+    struct Phold {
+        state: u64,
+        handled: u64,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    struct Token {
+        val: u64,
+        hops: u32,
+    }
+
+    const LOOKAHEAD: Duration = Duration::from_nanos(100);
+
+    impl ShardModel for Phold {
+        type Event = Token;
+        fn handle(&mut self, now: Time, ev: Token, out: &mut Outbox<Token>) {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(ev.val ^ now.0);
+            self.handled += 1;
+            if ev.hops == 0 {
+                return;
+            }
+            let nshards = out.nshards() as u64;
+            let dst = (self.state >> 7) % nshards;
+            let delay = Duration::from_nanos(LOOKAHEAD.as_nanos() + self.state % 500);
+            out.send(
+                dst as usize,
+                now + delay,
+                Token {
+                    val: self.state ^ ev.val,
+                    hops: ev.hops - 1,
+                },
+            );
+            // Sometimes also do purely local work below the lookahead —
+            // this is what an intra-shard event looks like.
+            if self.state.is_multiple_of(3) {
+                out.send(
+                    out.shard(),
+                    now + Duration::from_nanos(1 + self.state % 40),
+                    Token {
+                        val: self.state,
+                        hops: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn run_phold(nshards: usize, threads: usize) -> (Vec<(u64, u64)>, ShardRunStats) {
+        let models = (0..nshards)
+            .map(|i| Phold {
+                state: 0x9E37_79B9 ^ (i as u64) << 17,
+                handled: 0,
+            })
+            .collect();
+        let mut sim = ShardSim::new(models, LOOKAHEAD);
+        for s in 0..nshards {
+            sim.seed(
+                s,
+                Time(7 * s as u64),
+                Token {
+                    val: s as u64 + 1,
+                    hops: 200,
+                },
+            );
+        }
+        let pool = WorkerPool::new(threads);
+        let (models, stats) = sim.run(&pool);
+        (
+            models.into_iter().map(|m| (m.state, m.handled)).collect(),
+            stats,
+        )
+    }
+
+    #[test]
+    fn phold_is_byte_identical_across_thread_counts() {
+        // The tentpole determinism claim at kernel level: identical final
+        // shard states and statistics for 1/2/4/8 threads, with shard
+        // count both equal to and different from the thread count.
+        for nshards in [4usize, 5] {
+            let baseline = run_phold(nshards, 1);
+            assert!(baseline.1.epochs > 1, "multi-epoch run expected");
+            assert!(baseline.1.cross_shard_events > 0);
+            assert!(baseline.1.events > 200 * nshards as u64 / 2);
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    run_phold(nshards, threads),
+                    baseline,
+                    "nshards={nshards} threads={threads} diverged from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_violation_is_an_assertion_not_a_heisenbug() {
+        #[derive(Debug)]
+        struct Cheater;
+        impl ShardModel for Cheater {
+            type Event = ();
+            fn handle(&mut self, now: Time, _ev: (), out: &mut Outbox<()>) {
+                // One nanosecond short of the declared lookahead.
+                out.send(1, now + Duration::from_nanos(99), ());
+            }
+        }
+        let mut sim = ShardSim::new(vec![Cheater, Cheater], Duration::from_nanos(100));
+        sim.seed(0, Time(0), ());
+        let pool = WorkerPool::new(1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(&pool)))
+            .expect_err("undeclared lookahead must be rejected");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("violates lookahead"), "{msg}");
+    }
+
+    #[test]
+    fn model_panic_propagates_through_the_pool() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl ShardModel for Bomb {
+            type Event = u32;
+            fn handle(&mut self, _now: Time, ev: u32, _out: &mut Outbox<u32>) {
+                assert!(ev != 3, "shard model hit the poison event");
+            }
+        }
+        let mut sim = ShardSim::new(vec![Bomb, Bomb, Bomb], Duration::from_nanos(10));
+        sim.seed(0, Time(0), 1);
+        sim.seed(1, Time(0), 3);
+        sim.seed(2, Time(0), 2);
+        let pool = WorkerPool::new(4);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(&pool)))
+            .expect_err("a shard panic must reach the caller");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("poison event"), "{msg}");
+    }
+}

@@ -45,6 +45,12 @@ const FLAGS: &[(&str, &str, &str)] = &[
     ("msg", "BYTES", "message size (default 4 MiB)"),
     ("noise", "PCT", "noise intensity percent (default 0)"),
     ("seed", "S", "master seed (default 1)"),
+    (
+        "threads",
+        "N",
+        "activate the sharded event core with N worker threads \
+(byte-identical results; default: the pristine sequential core)",
+    ),
     ("gpu", "", "run the GPU path (bcast/reduce only)"),
     ("trace", "FILE.csv", "write the event trace as CSV"),
     ("describe", "", "print the machine topology and exit"),
@@ -322,6 +328,20 @@ fn main() {
         .unwrap_or(1);
     let op = arg(&args, "op").unwrap_or_else(|| "bcast".into());
     let lib = arg(&args, "lib").unwrap_or_else(|| "adapt".into());
+    let threads: Option<usize> = arg(&args, "threads").map(|s| {
+        let t: usize = s.parse().expect("threads");
+        assert!(t >= 1, "--threads must be at least 1");
+        t
+    });
+    // Route every CPU world through the sharded core when asked. The
+    // results are byte-identical either way; the sharded run additionally
+    // reports the par_epochs / cross_shard_events counters.
+    let shard = move |world: World| -> World {
+        match threads {
+            Some(t) => world.with_threads(t),
+            None => world,
+        }
+    };
     let faults = FaultArgs::parse(&args, seed);
     let whatif = WhatIfArgs::parse(&args);
 
@@ -333,6 +353,10 @@ fn main() {
         assert!(
             !whatif.wanted(),
             "--whatif/--diff-against/--obs-out run on the CPU path"
+        );
+        assert!(
+            threads.is_none(),
+            "--threads shards the CPU event core; drop --gpu"
         );
         let library = match lib.as_str() {
             "adapt" => GpuLibrary::OmpiAdapt,
@@ -427,7 +451,7 @@ fn main() {
                 ClusterNoise::silent(nranks)
             };
             let obs = ObsArgs::parse(&args);
-            let mut world = World::cpu(machine, nranks, noise_model);
+            let mut world = shard(World::cpu(machine, nranks, noise_model));
             if obs.wanted() || whatif.wanted() {
                 world = world.with_recorder(Box::new(obs.recorder()));
             }
@@ -478,7 +502,8 @@ fn main() {
         // Traced single run (ignores --noise scope subtleties).
         let noise_model =
             adapt::collectives::noise_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let world = World::cpu(case.machine.clone(), case.nranks, noise_model).enable_trace();
+        let world =
+            shard(World::cpu(case.machine.clone(), case.nranks, noise_model)).enable_trace();
         let res = faults.run(world, case.programs());
         std::fs::write(&path, adapt::mpi::trace_to_csv(&res.trace)).expect("write trace");
         println!(
@@ -497,7 +522,10 @@ fn main() {
         // recorder attached. Results are identical either way — recording
         // never perturbs the simulation.
         let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let res = faults.run(world.with_recorder(Box::new(obs.recorder())), programs);
+        let res = faults.run(
+            shard(world).with_recorder(Box::new(obs.recorder())),
+            programs,
+        );
         assert!(res.audit.is_clean(), "{}", res.audit);
         println!(
             "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",
@@ -529,7 +557,7 @@ fn main() {
     }
     if faults.active() {
         let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let res = faults.run(world, programs);
+        let res = faults.run(shard(world), programs);
         assert!(res.audit.is_clean(), "{}", res.audit);
         println!(
             "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",
@@ -538,6 +566,22 @@ fn main() {
         );
         print!("{}", res.stats);
         faults.summary(&res);
+        println!("  audit: clean (invariants asserted by the runner)");
+        return;
+    }
+    if threads.is_some() {
+        // Same world and programs as run_once_scoped, routed through the
+        // sharded core — the printed times must match the sequential run
+        // byte for byte; only the epoch counters are new.
+        let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
+        let res = shard(world).run(programs);
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        println!(
+            "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",
+            library.label(),
+            res.makespan.as_micros_f64()
+        );
+        print!("{}", res.stats);
         println!("  audit: clean (invariants asserted by the runner)");
         return;
     }

@@ -38,7 +38,17 @@ fn serialize(res: &adapt::mpi::RunResult) -> String {
     out
 }
 
-fn run_case(op: OpKind, msg_bytes: u64, noise_percent: f64, seed: u64) -> String {
+/// Run one fixture case. `threads = None` is the default single-queue
+/// path (what the fixtures were captured on); `Some(t)` activates the
+/// sharded parallel core, which must reproduce the same fixtures
+/// byte-for-byte at any thread count.
+fn run_case_at(
+    op: OpKind,
+    msg_bytes: u64,
+    noise_percent: f64,
+    seed: u64,
+    threads: Option<usize>,
+) -> String {
     let case = CollectiveCase {
         machine: profiles::cori(4),
         nranks: 128,
@@ -47,10 +57,36 @@ fn run_case(op: OpKind, msg_bytes: u64, noise_percent: f64, seed: u64) -> String
         msg_bytes,
     };
     let noise = adapt::collectives::noise_for_case(&case, NoiseScope::PerNode, noise_percent, seed);
-    let world = World::cpu(case.machine.clone(), case.nranks, noise);
+    let mut world = World::cpu(case.machine.clone(), case.nranks, noise);
+    if let Some(t) = threads {
+        world = world.with_threads(t);
+    }
     let res = world.run(case.programs());
     assert!(res.audit.is_clean(), "{}", res.audit);
     serialize(&res)
+}
+
+fn run_case(op: OpKind, msg_bytes: u64, noise_percent: f64, seed: u64) -> String {
+    run_case_at(op, msg_bytes, noise_percent, seed, None)
+}
+
+/// Every golden fixture, re-run on the sharded core at 1/2/4/8 threads —
+/// each must match the sequential fixture byte-for-byte.
+fn check_thread_matrix(name: &str, op: OpKind, msg_bytes: u64, noise_percent: f64, seed: u64) {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        return; // fixtures are captured on the default path only
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let got = run_case_at(op, msg_bytes, noise_percent, seed, Some(threads));
+        let path = golden_dir().join(name);
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+        assert_eq!(
+            got, want,
+            "golden trace {name} diverged at threads={threads} — the sharded \
+             core must be byte-identical to the sequential engine"
+        );
+    }
 }
 
 fn check(name: &str, got: String) {
@@ -99,5 +135,37 @@ fn golden_reduce_noisy() {
     check(
         "reduce_128r_1m_noise10_seed42.txt",
         run_case(OpKind::Reduce, 1 << 20, 10.0, 42),
+    );
+}
+
+#[test]
+fn golden_bcast_quiet_thread_matrix() {
+    check_thread_matrix("bcast_128r_1m_quiet.txt", OpKind::Bcast, 1 << 20, 0.0, 1);
+}
+
+#[test]
+fn golden_bcast_noisy_thread_matrix() {
+    check_thread_matrix(
+        "bcast_128r_1m_noise10_seed42.txt",
+        OpKind::Bcast,
+        1 << 20,
+        10.0,
+        42,
+    );
+}
+
+#[test]
+fn golden_reduce_quiet_thread_matrix() {
+    check_thread_matrix("reduce_128r_1m_quiet.txt", OpKind::Reduce, 1 << 20, 0.0, 1);
+}
+
+#[test]
+fn golden_reduce_noisy_thread_matrix() {
+    check_thread_matrix(
+        "reduce_128r_1m_noise10_seed42.txt",
+        OpKind::Reduce,
+        1 << 20,
+        10.0,
+        42,
     );
 }

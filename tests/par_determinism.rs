@@ -1,0 +1,182 @@
+//! Determinism matrix for the sharded parallel simulation core.
+//!
+//! The contract: activating the sharded core ([`World::with_threads`] /
+//! [`World::with_shards`]) must produce a byte-identical [`RunResult`] —
+//! per-rank completion times, every `WorldStats` counter (including the
+//! epoch/cross-shard counters themselves), and the audit report — at
+//! every thread count, on every kind of fixture: golden collectives,
+//! chaos schedules (loss + stalls), heavy noise, and a seeded
+//! shard-count-≠-thread-count case. The counters are pure functions of
+//! the event stream, never of the thread count.
+
+use adapt::collectives::{noise_for_case, CollectiveCase, Library, NoiseScope, OpKind};
+use adapt::mpi::RunResult;
+use adapt::prelude::*;
+use bytes::Bytes;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Everything satellite-3 demands byte-identical, in one comparable blob:
+/// completion times, busy times, all WorldStats counters, the full audit.
+fn fingerprint(res: &RunResult) -> String {
+    let mut out = String::new();
+    writeln!(out, "makespan={}", res.makespan.as_nanos()).unwrap();
+    for (r, t) in res.per_rank_finish.iter().enumerate() {
+        writeln!(out, "finish {r} {}", t.as_nanos()).unwrap();
+    }
+    for (r, d) in res.per_rank_busy.iter().enumerate() {
+        writeln!(out, "busy {r} {}", d.as_nanos()).unwrap();
+    }
+    writeln!(out, "stats:\n{}", res.stats).unwrap();
+    writeln!(out, "audit:\n{}", res.audit).unwrap();
+    out
+}
+
+/// Build-and-run closure for one fixture; `threads = 0` means the
+/// pristine default (single-queue) path.
+fn run_matrix(name: &str, build: impl Fn() -> (World, Vec<Box<dyn RankProgram>>)) {
+    let run = |threads: usize| {
+        let (world, programs) = build();
+        let world = if threads == 0 {
+            world
+        } else {
+            world.with_threads(threads)
+        };
+        world.run(programs)
+    };
+    let baseline = run(1);
+    assert!(baseline.audit.is_clean(), "{name}: {}", baseline.audit);
+    assert!(
+        baseline.stats.par_epochs > 0,
+        "{name}: the sharded core must count epochs"
+    );
+    let want = fingerprint(&baseline);
+    for threads in [2usize, 4, 8] {
+        let got = fingerprint(&run(threads));
+        assert_eq!(
+            got, want,
+            "{name}: RunResult diverged between threads=1 and threads={threads}"
+        );
+    }
+    // The default path must agree on everything except the epoch counters
+    // (which only exist once the event stream is shard-attributed).
+    let default = run(0);
+    assert_eq!(default.per_rank_finish, baseline.per_rank_finish, "{name}");
+    assert_eq!(default.per_rank_busy, baseline.per_rank_busy, "{name}");
+    assert_eq!(default.stats.events, baseline.stats.events, "{name}");
+    assert_eq!(default.stats.messages, baseline.stats.messages, "{name}");
+    assert_eq!(
+        default.stats.par_epochs, 0,
+        "{name}: default path is unsharded"
+    );
+    assert_eq!(
+        default.audit.to_string(),
+        baseline.audit.to_string(),
+        "{name}"
+    );
+}
+
+/// Golden fixture: the quick-scale ADAPT broadcast on cori, with noise.
+#[test]
+fn golden_fixture_is_thread_count_invariant() {
+    run_matrix("golden bcast", || {
+        let case = CollectiveCase {
+            machine: profiles::cori(4),
+            nranks: 128,
+            op: OpKind::Bcast,
+            library: Library::OmpiAdapt,
+            msg_bytes: 1 << 20,
+        };
+        let noise = noise_for_case(&case, NoiseScope::PerNode, 10.0, 42);
+        let world = World::cpu(case.machine.clone(), case.nranks, noise);
+        (world, case.programs())
+    });
+}
+
+/// Chaos fixture: seeded loss plus a rank stall — retransmit timers
+/// (tracked, cancellable events) and fault commands all cross the
+/// sharded queue.
+#[test]
+fn chaos_fixture_is_thread_count_invariant() {
+    let data: Vec<u8> = (0..200_000u32).map(|i| (i % 249) as u8).collect();
+    run_matrix("chaos loss+stall", move || {
+        let machine = profiles::minicluster(2, 2, 4);
+        let nranks = 16;
+        let placement = Placement::block_cpu(machine.shape, nranks);
+        let tree = Arc::new(topology_aware_tree(&placement, TopoTreeConfig::default()));
+        let spec = BcastSpec {
+            tree,
+            msg_bytes: data.len() as u64,
+            cfg: AdaptConfig::default().with_seg_size(32 * 1024),
+            data: Some(Bytes::from(data.clone())),
+        };
+        let plan = FaultPlan::lossy(7, 0.02)
+            .with_stall(
+                3,
+                Time::ZERO + Duration::from_micros(20),
+                Time::ZERO + Duration::from_micros(120),
+            )
+            .with_rto(Duration::from_micros(60));
+        let world = World::cpu(machine, nranks, ClusterNoise::silent(nranks)).with_faults(plan);
+        (world, spec.programs())
+    });
+}
+
+/// Noise-heavy fixture: 30% injected noise stresses preemption and
+/// deferral paths far past the golden fixtures.
+#[test]
+fn noise_heavy_fixture_is_thread_count_invariant() {
+    run_matrix("noise-heavy reduce", || {
+        let case = CollectiveCase {
+            machine: profiles::cori(2),
+            nranks: 64,
+            op: OpKind::Reduce,
+            library: Library::OmpiAdapt,
+            msg_bytes: 1 << 19,
+        };
+        let noise = noise_for_case(&case, NoiseScope::AllRanks, 30.0, 1234);
+        let world = World::cpu(case.machine.clone(), case.nranks, noise);
+        (world, case.programs())
+    });
+}
+
+/// Shard count decoupled from both thread count and node count: a seeded
+/// 3-shard partition of a 2-node machine must still be byte-identical to
+/// the per-node sharding and to the sequential engine.
+#[test]
+fn shard_count_neq_thread_count_is_still_exact() {
+    let build = || {
+        let case = CollectiveCase {
+            machine: profiles::minicluster(2, 2, 4),
+            nranks: 16,
+            op: OpKind::Bcast,
+            library: Library::OmpiAdapt,
+            msg_bytes: 256 * 1024,
+        };
+        let noise = noise_for_case(&case, NoiseScope::PerNode, 15.0, 7);
+        let world = World::cpu(case.machine.clone(), case.nranks, noise);
+        (world, case.programs())
+    };
+    let (world, programs) = build();
+    let baseline = world.run(programs);
+    assert!(baseline.audit.is_clean(), "{}", baseline.audit);
+    for threads in [1usize, 2, 4, 8] {
+        let (world, programs) = build();
+        // 3 shards on a 2-node machine, at every pool width.
+        let res = world.with_shards(3).run(programs);
+        assert_eq!(
+            res.per_rank_finish, baseline.per_rank_finish,
+            "threads={threads}: a 3-shard partition moved completion times"
+        );
+        assert_eq!(
+            res.audit.to_string(),
+            baseline.audit.to_string(),
+            "threads={threads}"
+        );
+        assert!(res.stats.par_epochs > 0);
+        assert!(
+            res.stats.cross_shard_events > 0,
+            "a 16-rank collective split across 3 shards must cross shards"
+        );
+    }
+}

@@ -3,9 +3,13 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors a sequential shim: `par_iter` / `into_par_iter` return ordinary
 //! `std` iterators, which already provide `map`, `collect`, `sum`, etc.
-//! Results are bit-identical to the parallel versions (the bench harness
-//! only uses order-preserving combinators); the only difference is the
-//! absence of a parallel speedup.
+//! Nothing here runs concurrently — `par_iter` is literally `iter`, and
+//! `join` runs its two closures back to back. There is no parallel
+//! speedup, and no claim about what the real rayon would produce: code
+//! whose results depend on execution order would behave differently
+//! under the real crate. Code that wants actual threads should use
+//! `adapt_sim::WorkerPool` (the bench harness does); this stub exists
+//! only so sources written against the rayon API still compile.
 
 pub mod prelude {
     /// `par_iter()` over a borrowed collection — sequential stand-in.
