@@ -34,7 +34,7 @@ use std::path::Path;
 
 /// The PR this working tree belongs to — the default `pr` stamp for
 /// freshly recorded ledger entries.
-pub const CURRENT_PR: u32 = 7;
+pub const CURRENT_PR: u32 = 8;
 
 /// Default ledger location, relative to the repo root.
 pub const LEDGER_PATH: &str = "results/barometer.jsonl";
@@ -283,7 +283,8 @@ impl Scenario {
                 let full = mk(p.req_int("flows_full")?);
                 Kind::FlowChurn { quick, full }
             }
-            "fig8_plain" | "fig8_traced" | "fig8_inert_faults" | "fig8_lossy" => {
+            "fig8_plain" | "fig8_traced" | "fig8_streaming" | "fig8_inert_faults"
+            | "fig8_lossy" => {
                 let warmup = p.int("warmup", 1)? as usize;
                 let iters = p.req_int("iters")? as usize;
                 let nodes = p.req_int("nodes")? as u32;
@@ -292,6 +293,7 @@ impl Scenario {
                 let mode = match kind.as_str() {
                     "fig8_plain" => Fig8Mode::Plain,
                     "fig8_traced" => Fig8Mode::Traced,
+                    "fig8_streaming" => Fig8Mode::Streaming,
                     "fig8_inert_faults" => Fig8Mode::InertFaults,
                     _ => Fig8Mode::Lossy(p.float("loss")?),
                 };

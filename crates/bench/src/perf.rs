@@ -13,6 +13,7 @@
 //! | `flow_churn` | fair-share refresh on a congested link under flow churn |
 //! | `fig8_quick_bcast` | end-to-end 256-rank broadcast sweep (quick fig8) |
 //! | `fig8_quick_bcast_256_traced` | the same sweep with observability recording on |
+//! | `fig8_quick_bcast_256_streaming` | the sweep with the bounded-memory streaming recorder on |
 //! | `fig8_quick_bcast_inert_faults` | the sweep with an inert fault plan — the reliability layer's zero-overhead guard |
 //! | `fig8_quick_bcast_lossy1pct` | the sweep at 1% per-hop loss through the reliability layer |
 //!
@@ -32,7 +33,7 @@ use adapt_faults::FaultPlan;
 use adapt_mpi::{Completion, Op, Payload, ProgramCtx, RankProgram, Token, World, WorldStats};
 use adapt_net::{FlowId, FlowScheduler, FlowSpec, Link, LinkClass, LinkId, NetStep, Network, Path};
 use adapt_noise::ClusterNoise;
-use adapt_obs::MemRecorder;
+use adapt_obs::{MemRecorder, StreamRecorder};
 use adapt_sim::queue::{EventKey, EventQueue};
 use adapt_sim::time::{Duration as SimDuration, Time};
 use adapt_sim::WorkerPool;
@@ -429,6 +430,9 @@ pub enum Fig8Mode {
     Plain,
     /// Full observability recording (spans + 10 µs gauge sampling).
     Traced,
+    /// Bounded-memory streaming telemetry ([`StreamRecorder`]): online
+    /// aggregation only, no span buffers, no gauge sampling.
+    Streaming,
     /// Inert fault plan attached — the reliability layer's zero-overhead
     /// guard (counters asserted bit-identical to an unfaulted run).
     InertFaults,
@@ -489,6 +493,20 @@ pub fn bench_fig8_quick_traced(scale: Scale) -> PerfResult {
     )
 }
 
+/// The sweep with the bounded-memory streaming recorder attached. The
+/// recorder aggregates every probe online (histograms, heatmap, busy
+/// accounting) instead of buffering spans, and samples no gauges, so its
+/// overhead against `fig8_quick_bcast_256` should stay within the
+/// standard 5% gate — the number that makes always-on telemetry viable
+/// at production scale.
+pub fn bench_fig8_streaming(scale: Scale) -> PerfResult {
+    let _ = scale;
+    bench_fig8_with(
+        "fig8_quick_bcast_256_streaming",
+        &Fig8Params::defaults(Fig8Mode::Streaming),
+    )
+}
+
 /// Zero-overhead guard for the reliability layer: the same fig8 sweep
 /// with an **inert** fault plan attached. `World::with_faults` must
 /// refuse to arm anything for an inert plan, so every counter is
@@ -526,6 +544,16 @@ fn run_fig8_size(case: &CollectiveCase, mode: Fig8Mode) -> WorldStats {
             assert!(res.audit.is_clean(), "{}", res.audit);
             let obs = res.obs.expect("recorded run carries observability data");
             assert!(!obs.dispatches.is_empty() && !obs.gauges.is_empty());
+            res.stats
+        }
+        Fig8Mode::Streaming => {
+            let (world, programs) = world_for_case(case, NoiseScope::PerNode, 0.0, 1);
+            let res = world
+                .with_recorder(Box::new(StreamRecorder::new()))
+                .run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            let summary = res.summary.expect("streaming run carries a summary");
+            assert!(summary.msgs_posted > 0 && summary.dispatches > 0);
             res.stats
         }
         Fig8Mode::InertFaults => {
@@ -633,6 +661,7 @@ pub fn run_suite(scale: Scale, machine: CpuMachine) -> Vec<PerfResult> {
         bench_flow_churn(scale),
         bench_fig8_quick(scale),
         bench_fig8_quick_traced(scale),
+        bench_fig8_streaming(scale),
         bench_fig8_inert_faults(scale),
         bench_fig8_lossy(scale),
     ]

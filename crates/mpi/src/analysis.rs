@@ -185,6 +185,8 @@ mod tests {
             programs: Vec::new(),
             trace: Vec::new(),
             obs: None,
+            summary: None,
+            flight: None,
         }
     }
 

@@ -31,8 +31,8 @@ use adapt_net::{
 };
 use adapt_noise::ClusterNoise;
 use adapt_obs::{
-    FlowClass, FlowStart, GaugeMetric, MsgEvent, NullRecorder, ObsData, ProtoKind, Recorder,
-    Trigger,
+    AnyRecorder, FlowClass, FlowStart, GaugeMetric, MsgEvent, NullRecorder, ObsData, ObsSummary,
+    ProtoKind, Recorder, Trigger,
 };
 use adapt_sim::audit::{AuditReport, RankAudit};
 use adapt_sim::fxhash::{FxHashMap, FxHashSet};
@@ -264,6 +264,10 @@ pub struct StallDiagnosis {
     /// Human-readable report (starts with `deadlock:`); also what
     /// [`std::fmt::Display`] prints.
     pub detail: String,
+    /// Flight-recorder tail (a Chrome-trace fragment of the most recent
+    /// spans), when the attached recorder keeps one — the post-mortem
+    /// companion to the per-rank stuck report.
+    pub flight: Option<String>,
 }
 
 impl std::fmt::Display for StallDiagnosis {
@@ -443,6 +447,13 @@ pub struct RunResult {
     /// Full observability record (`None` unless a recorder was attached
     /// via [`World::with_recorder`]).
     pub obs: Option<ObsData>,
+    /// Bounded-memory streaming summary (`None` unless the attached
+    /// recorder aggregates online, e.g. `StreamRecorder`).
+    pub summary: Option<ObsSummary>,
+    /// Flight-recorder tail, captured only when the audit is dirty and
+    /// the attached recorder keeps a flight ring — the post-mortem for
+    /// a run that completed but violated an invariant.
+    pub flight: Option<String>,
 }
 
 struct QueueSched<'a>(&'a mut Queues);
@@ -620,10 +631,15 @@ pub struct World {
     /// aborts the run with a [`StallDiagnosis`].
     watchdog: Option<Duration>,
     /// Observability recorder (a no-op [`NullRecorder`] by default).
-    obs: Box<dyn Recorder>,
+    /// Stored as [`AnyRecorder`] so enabled probes dispatch statically.
+    obs: AnyRecorder,
     /// Cached `obs.enabled()` — every probe site branches on this flag
     /// only, so a disabled recorder costs one predictable branch.
     obs_on: bool,
+    /// Reusable link-id buffer for the `flow_start` probe; the recorder
+    /// borrows it, so the per-flow path copy never allocates after the
+    /// first few flows.
+    links_scratch: Vec<u32>,
     /// Cached `ADAPT_TRACE` environment check — `start_send` is hot, and
     /// an environment lookup per send is an easily avoided lock+scan.
     trace_sends: bool,
@@ -659,8 +675,9 @@ impl World {
             trace: None,
             faults: None,
             watchdog: None,
-            obs: Box::new(NullRecorder),
+            obs: AnyRecorder::Null(NullRecorder),
             obs_on: false,
+            links_scratch: Vec::new(),
             trace_sends: std::env::var_os("ADAPT_TRACE").is_some(),
         }
     }
@@ -716,7 +733,8 @@ impl World {
     /// simulation computes anyway (noise window generation is
     /// deterministic and idempotent, so obs-only `finish_work` queries
     /// return what a later call would have returned regardless).
-    pub fn with_recorder(mut self, rec: Box<dyn Recorder>) -> World {
+    pub fn with_recorder(mut self, rec: impl Into<AnyRecorder>) -> World {
+        let rec = rec.into();
         self.obs_on = rec.enabled();
         self.obs = rec;
         self
@@ -915,7 +933,9 @@ impl World {
             }
             if let Some(h) = self.watchdog {
                 if self.finished < self.nranks() && t.saturating_since(prev_t) > h {
-                    return Err(Box::new(self.stall_diagnosis(prev_t, t, true)));
+                    let mut diag = self.stall_diagnosis(prev_t, t, true);
+                    diag.flight = self.obs.flight_dump();
+                    return Err(Box::new(diag));
                 }
             }
             prev_t = t;
@@ -943,7 +963,9 @@ impl World {
         }
 
         if self.finished != self.nranks() {
-            return Err(Box::new(self.stall_diagnosis(prev_t, prev_t, false)));
+            let mut diag = self.stall_diagnosis(prev_t, prev_t, false);
+            diag.flight = self.obs.flight_dump();
+            return Err(Box::new(diag));
         }
 
         let per_rank_finish: Vec<Time> = self
@@ -1009,6 +1031,19 @@ impl World {
         } else {
             None
         };
+        let summary = if self.obs_on {
+            self.obs.finish_summary()
+        } else {
+            None
+        };
+        // A dirty audit is the completed-run analogue of a stall: dump
+        // the flight tail (when one is kept) so the violation comes with
+        // its most recent spans.
+        let flight = if self.obs_on && !audit.is_clean() {
+            self.obs.flight_dump()
+        } else {
+            None
+        };
         Ok(RunResult {
             makespan,
             per_rank_finish,
@@ -1016,6 +1051,8 @@ impl World {
             trace,
             audit,
             obs,
+            summary,
+            flight,
             stats: self.stats,
             programs: self
                 .programs
@@ -1103,6 +1140,7 @@ impl World {
             stuck,
             watchdog_fired,
             detail,
+            flight: None,
         }
     }
 
@@ -1115,11 +1153,11 @@ impl World {
     /// its fate from the fault RNG) and where reliable lanes arm their
     /// retransmit timer.
     fn launch_flow(&mut self, t: Time, kind: FlowKind, path: Path, bytes: u64) {
-        let links: Vec<u32> = if self.obs_on {
-            path.as_slice().iter().map(|l| l.0).collect()
-        } else {
-            Vec::new()
-        };
+        if self.obs_on {
+            self.links_scratch.clear();
+            self.links_scratch
+                .extend(path.as_slice().iter().map(|l| l.0));
+        }
         let mut doomed = false;
         if let Some(fs) = self.faults.as_mut() {
             // Local copies never traverse faulty links; empty paths are
@@ -1176,9 +1214,9 @@ impl World {
                     rank: frank,
                     token,
                     bytes,
-                    links,
                     t_ns: t.as_nanos(),
                 },
+                &self.links_scratch,
             );
         }
         if self.faults.is_some() {

@@ -1,76 +1,69 @@
 //! Validate exported observability artifacts (used by CI).
 //!
-//! Usage: `obs-validate <trace.json> [metrics.csv] [critical.txt]`
+//! Usage: `obs-validate <artifact> [artifact ...]`
 //!
-//! Exits non-zero with a diagnostic if the Chrome trace fails to parse,
-//! spans on a serial track partially overlap, async begin/end events
-//! don't pair up, the metrics CSV is malformed, or the critical-path
-//! report's layer percentages don't sum to 100.
+//! Each file's kind is sniffed from its content, so the historical
+//! positional form `obs-validate trace.json metrics.csv critical.txt`
+//! keeps working and streaming summaries (`--summary-out`) or flight
+//! dumps can be appended anywhere on the line:
+//!
+//! - `{"format": "adapt-obs-summary-v1"` → streaming telemetry summary
+//! - the metrics CSV header                → gauge/summary metrics CSV
+//! - any other `{`                         → Chrome trace (full or flight fragment)
+//! - anything else                         → critical-path report
+//!
+//! Exits non-zero with a diagnostic on the first invalid artifact.
 
 use std::process::ExitCode;
 
+/// Validate one artifact by content; `Ok` is the success line to print.
+fn check(path: &str, text: &str) -> Result<String, String> {
+    let head = text.trim_start();
+    if head.starts_with(&format!("{{\"format\": \"{}\"", adapt_obs::SUMMARY_FORMAT)) {
+        let s = adapt_obs::validate_summary(text)?;
+        return Ok(format!(
+            "{path}: OK — summary of {} ranks ({} msgs, {} flows, {} classes, \
+             {} hot links)",
+            s.ranks, s.msgs, s.flows, s.classes, s.hot_links
+        ));
+    }
+    if text.lines().next() == Some(adapt_obs::CSV_HEADER) {
+        let rows = adapt_obs::validate_metrics_csv(text)?;
+        return Ok(format!("{path}: OK — {rows} metric rows"));
+    }
+    if head.starts_with('{') {
+        let s = adapt_obs::validate_chrome(text)?;
+        return Ok(format!(
+            "{path}: OK — {} events ({} complete spans on {} tracks, \
+             {} async spans, {} counters)",
+            s.events, s.complete_spans, s.tracks, s.async_spans, s.counters
+        ));
+    }
+    let sum = adapt_obs::validate_critical_report(text)?;
+    Ok(format!("{path}: OK — layer percentages sum to {sum:.1}%"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.len() > 3 {
-        eprintln!("usage: obs-validate <trace.json> [metrics.csv] [critical.txt]");
+    if args.is_empty() {
+        eprintln!("usage: obs-validate <artifact> [artifact ...]");
         return ExitCode::from(2);
     }
-
-    let trace_path = &args[0];
-    let text = match std::fs::read_to_string(trace_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("obs-validate: cannot read {trace_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match adapt_obs::validate_chrome(&text) {
-        Ok(s) => {
-            println!(
-                "{trace_path}: OK — {} events ({} complete spans on {} tracks, \
-                 {} async spans, {} counters)",
-                s.events, s.complete_spans, s.tracks, s.async_spans, s.counters
-            );
-        }
-        Err(e) => {
-            eprintln!("{trace_path}: INVALID — {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-
-    if let Some(csv_path) = args.get(1) {
-        let text = match std::fs::read_to_string(csv_path) {
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("obs-validate: cannot read {csv_path}: {e}");
+                eprintln!("obs-validate: cannot read {path}: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        match adapt_obs::validate_metrics_csv(&text) {
-            Ok(rows) => println!("{csv_path}: OK — {rows} metric rows"),
+        match check(path, &text) {
+            Ok(line) => println!("{line}"),
             Err(e) => {
-                eprintln!("{csv_path}: INVALID — {e}");
+                eprintln!("{path}: INVALID — {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
-
-    if let Some(report_path) = args.get(2) {
-        let text = match std::fs::read_to_string(report_path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("obs-validate: cannot read {report_path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match adapt_obs::validate_critical_report(&text) {
-            Ok(sum) => println!("{report_path}: OK — layer percentages sum to {sum:.1}%"),
-            Err(e) => {
-                eprintln!("{report_path}: INVALID — {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-
     ExitCode::SUCCESS
 }

@@ -18,7 +18,7 @@
 use crate::record::{FlowClass, GaugeMetric, ObsData, Trigger};
 
 /// Format a nanosecond instant as the trace's microsecond timestamp.
-fn ts(ns: u64) -> String {
+pub(crate) fn ts(ns: u64) -> String {
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
@@ -34,7 +34,7 @@ pub(crate) fn fmt_num(v: f64) -> String {
 
 /// Minimal JSON string escape (labels are ASCII identifiers, but stay
 /// safe regardless).
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,334 @@
+//! Flight recorder: a fixed-capacity ring of the most recent spans,
+//! dumped as a Chrome-trace fragment for stall and audit post-mortems.
+//!
+//! The ring holds small fixed-size records — no strings, no per-event
+//! allocation — and overwrites the oldest entry when full, so an
+//! always-on recorder costs O(capacity) memory no matter how long the
+//! run. When [`World::try_run`] returns a `StallDiagnosis` (or the
+//! audit fails) the tail is rendered with [`FlightRecorder::
+//! chrome_fragment`]: the last thing every rank was doing, loadable in
+//! Perfetto next to the watchdog's per-rank stuck counts.
+//!
+//! Each ring entry is a *complete* record (begin and end together), so
+//! the fragment only ever emits complete `"X"` spans and zero-duration
+//! markers — truncation can never orphan an async begin/end pair, and
+//! the output always passes [`validate_chrome`](crate::validate::
+//! validate_chrome).
+
+use crate::chrome::{esc, ts};
+
+/// One ring entry. Labels are `&'static str` (the stable probe labels),
+/// keeping entries `Copy` and allocation-free.
+#[derive(Clone, Copy, Debug)]
+pub enum FlightSpan {
+    /// A handler dispatch span on a rank CPU.
+    Dispatch {
+        /// Executing rank.
+        rank: u32,
+        /// Span start (ns).
+        begin_ns: u64,
+        /// Span end (ns).
+        end_ns: u64,
+        /// Trigger label.
+        label: &'static str,
+    },
+    /// A protocol-action span on a rank CPU.
+    Proto {
+        /// Executing rank.
+        rank: u32,
+        /// Span start (ns).
+        begin_ns: u64,
+        /// Span end (ns).
+        end_ns: u64,
+        /// Protocol-kind label.
+        label: &'static str,
+        /// Owning message.
+        msg: u64,
+    },
+    /// A compute/GPU work span.
+    Compute {
+        /// Executing rank.
+        rank: u32,
+        /// Work token.
+        token: u64,
+        /// Span start (ns).
+        begin_ns: u64,
+        /// Span end (ns).
+        end_ns: u64,
+        /// GPU-stream work (vs host compute).
+        gpu: bool,
+    },
+    /// A message lifetime step (zero-duration marker).
+    Msg {
+        /// Message id.
+        msg: u64,
+        /// Event label.
+        label: &'static str,
+        /// Instant (ns).
+        t_ns: u64,
+    },
+    /// A flow launch or delivery (zero-duration marker).
+    Flow {
+        /// Network slot.
+        slot: u32,
+        /// Flow-class label.
+        label: &'static str,
+        /// Bytes carried (launches only).
+        bytes: u64,
+        /// Instant (ns).
+        t_ns: u64,
+        /// Delivery (`true`) or launch (`false`).
+        end: bool,
+    },
+}
+
+/// Fixed-capacity span ring; see the module docs.
+pub struct FlightRecorder {
+    buf: Vec<FlightSpan>,
+    cap: usize,
+    /// Next write position; wraps at `cap`.
+    next: usize,
+    /// Total spans ever pushed (so `dropped = pushed - len`).
+    pushed: u64,
+}
+
+impl FlightRecorder {
+    /// A ring holding the most recent `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Record one span, overwriting the oldest when full.
+    pub fn push(&mut self, s: FlightSpan) {
+        if self.buf.len() < self.cap {
+            self.buf.push(s);
+        } else {
+            self.buf[self.next] = s;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.pushed += 1;
+    }
+
+    /// Spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Spans overwritten (lost to the ring bound).
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// Ring contents, oldest first.
+    fn tail(&self) -> impl Iterator<Item = &FlightSpan> {
+        let split = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next
+        };
+        self.buf[split..].iter().chain(self.buf[..split].iter())
+    }
+
+    /// Render the tail as a self-contained Chrome-trace JSON document.
+    /// CPU spans land on per-rank tracks (pid 1); message and flow
+    /// markers on dedicated tracks (pid 3); compute spans are complete
+    /// `"X"` events on a separate compute process (pid 4) so their
+    /// overlap with CPU spans can never violate track nesting.
+    pub fn chrome_fragment(&self) -> String {
+        const PID_RANKS: u32 = 1;
+        const PID_MARKS: u32 = 3;
+        const PID_COMPUTE: u32 = 4;
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        let mut ev = |out: &mut String, body: String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push('{');
+            out.push_str(&body);
+            out.push('}');
+        };
+        let meta = |pid: u32, name: &str| {
+            format!(
+                "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+                 \"args\":{{\"name\":\"{name}\"}}"
+            )
+        };
+        ev(&mut out, meta(PID_RANKS, "ranks (flight tail)"));
+        ev(&mut out, meta(PID_MARKS, "messages and flows"));
+        ev(&mut out, meta(PID_COMPUTE, "compute"));
+        let x = |name: &str, cat: &str, pid: u32, tid: u32, b: u64, e: u64, args: &str| {
+            format!(
+                "\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\
+                 \"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{{args}}}",
+                esc(name),
+                ts(b),
+                ts(e.saturating_sub(b)),
+            )
+        };
+        // Compute spans get one track each (tid = arrival order):
+        // concurrent compute/GPU work on one rank may overlap, which a
+        // shared track's nesting check would reject.
+        let mut compute_tid = 0u32;
+        for s in self.tail() {
+            let body = match *s {
+                FlightSpan::Dispatch {
+                    rank,
+                    begin_ns,
+                    end_ns,
+                    label,
+                } => x(label, "dispatch", PID_RANKS, rank, begin_ns, end_ns, ""),
+                FlightSpan::Proto {
+                    rank,
+                    begin_ns,
+                    end_ns,
+                    label,
+                    msg,
+                } => x(
+                    label,
+                    "protocol",
+                    PID_RANKS,
+                    rank,
+                    begin_ns,
+                    end_ns,
+                    &format!("\"msg\":{msg}"),
+                ),
+                FlightSpan::Compute {
+                    rank,
+                    token,
+                    begin_ns,
+                    end_ns,
+                    gpu,
+                } => {
+                    compute_tid += 1;
+                    x(
+                        if gpu { "gpu" } else { "compute" },
+                        "compute",
+                        PID_COMPUTE,
+                        compute_tid - 1,
+                        begin_ns,
+                        end_ns,
+                        &format!("\"rank\":{rank},\"token\":{token}"),
+                    )
+                }
+                FlightSpan::Msg { msg, label, t_ns } => {
+                    let name = format!("m{msg} {label}");
+                    x(&name, "msg", PID_MARKS, 0, t_ns, t_ns, "")
+                }
+                FlightSpan::Flow {
+                    slot,
+                    label,
+                    bytes,
+                    t_ns,
+                    end,
+                } => {
+                    let name = format!(
+                        "{label} f{slot} {}",
+                        if end { "delivered" } else { "launch" }
+                    );
+                    x(
+                        &name,
+                        "flow",
+                        PID_MARKS,
+                        1,
+                        t_ns,
+                        t_ns,
+                        &format!("\"bytes\":{bytes}"),
+                    )
+                }
+            };
+            ev(&mut out, body);
+        }
+        // How much of the run the tail covers, as counters at ts 0.
+        let c = format!(
+            "\"name\":\"flight_spans_dropped\",\"ph\":\"C\",\"pid\":{PID_MARKS},\
+             \"ts\":0.000,\"args\":{{\"value\":{}}}",
+            self.dropped()
+        );
+        ev(&mut out, c);
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatch(rank: u32, b: u64, e: u64) -> FlightSpan {
+        FlightSpan::Dispatch {
+            rank,
+            begin_ns: b,
+            end_ns: e,
+            label: "start",
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_spans() {
+        let mut f = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            f.push(dispatch(0, i * 10, i * 10 + 5));
+        }
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.dropped(), 6);
+        let begins: Vec<u64> = f
+            .tail()
+            .map(|s| match s {
+                FlightSpan::Dispatch { begin_ns, .. } => *begin_ns,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(begins, vec![60, 70, 80, 90], "oldest-first tail");
+    }
+
+    #[test]
+    fn fragment_passes_the_chrome_validator_even_when_truncated() {
+        let mut f = FlightRecorder::new(8);
+        for i in 0..50u64 {
+            f.push(dispatch((i % 4) as u32, i * 100, i * 100 + 40));
+            f.push(FlightSpan::Msg {
+                msg: i,
+                label: "delivered",
+                t_ns: i * 100 + 20,
+            });
+            f.push(FlightSpan::Compute {
+                rank: (i % 4) as u32,
+                token: i,
+                begin_ns: i * 100 + 10,
+                end_ns: i * 100 + 90, // overlaps the next dispatch
+                gpu: i % 2 == 0,
+            });
+            f.push(FlightSpan::Flow {
+                slot: 3,
+                label: "eager",
+                bytes: 64,
+                t_ns: i * 100 + 30,
+                end: false,
+            });
+        }
+        let json = f.chrome_fragment();
+        let summary = crate::validate::validate_chrome(&json).expect("fragment must validate");
+        assert!(summary.complete_spans > 0);
+        assert!(json.contains("flight_spans_dropped"));
+    }
+
+    #[test]
+    fn empty_ring_renders_a_valid_document() {
+        let f = FlightRecorder::new(16);
+        assert!(f.is_empty());
+        crate::validate::validate_chrome(&f.chrome_fragment()).unwrap();
+    }
+}

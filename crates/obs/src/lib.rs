@@ -14,6 +14,14 @@
 //! * **Time-series metrics** — sampled gauges (posted/unexpected queue
 //!   depth, live-flow count, per-link utilization, event-queue
 //!   occupancy) taken at fixed sim-time intervals.
+//! * **Streaming telemetry** — the bounded-memory [`StreamRecorder`]
+//!   folds every probe into fixed-size aggregates as it fires:
+//!   mergeable log-bucketed [`Hist`]ograms (per-flow-class durations,
+//!   per-message-stage latencies), a link×time utilization heatmap, and
+//!   per-rank busy/idle accounting, exported as an [`ObsSummary`] via
+//!   [`summary_json`] / [`summary_report`]. An optional
+//!   [`FlightRecorder`] ring keeps the most recent spans and is dumped
+//!   as a Chrome-trace fragment on a stall diagnosis or failed audit.
 //! * **Exporters** — Chrome trace-event JSON ([`chrome_trace`],
 //!   loadable in Perfetto / `chrome://tracing`, one track per rank and
 //!   one per link) and a flat CSV metrics dump ([`metrics_csv`]).
@@ -39,27 +47,33 @@
 mod chrome;
 mod critical;
 mod diff;
+mod flight;
+mod hist;
 mod json;
 mod metrics;
 mod record;
 mod recorder;
 mod report;
+mod stream;
 mod validate;
 mod whatif;
 
 pub use chrome::chrome_trace;
 pub use critical::{critical_path, CriticalPath, Layer, Segment, LAYERS};
 pub use diff::{diff_runs, DiffBucket, RunDiff};
+pub use flight::{FlightRecorder, FlightSpan};
+pub use hist::{nearest_rank, percentile, Hist, HIST_BUCKETS};
 pub use json::{from_json, to_json, FORMAT};
-pub use metrics::{metrics_csv, FLOW_CLASSES};
+pub use metrics::{metrics_csv, CSV_HEADER, FLOW_CLASSES};
 pub use record::{
     ComputeRec, DispatchSpan, FlowClass, FlowRec, GaugeMetric, GaugeRec, MsgRec, ObsData, PhaseRec,
     ProtoKind, ProtoSpan, Trigger,
 };
-pub use recorder::{FlowStart, MemRecorder, MsgEvent, NullRecorder, Recorder};
+pub use recorder::{AnyRecorder, FlowStart, MemRecorder, MsgEvent, NullRecorder, Recorder};
 pub use report::{render_prediction, render_sweep, render_validation, speedup_sweep, SweepRow};
+pub use stream::{summary_json, summary_report, ObsSummary, StreamRecorder, SUMMARY_FORMAT};
 pub use validate::{
-    parse_json, validate_chrome, validate_critical_report, validate_metrics_csv, ChromeSummary,
-    Json,
+    parse_json, validate_chrome, validate_critical_report, validate_metrics_csv, validate_summary,
+    ChromeSummary, Json, SummaryCheck,
 };
 pub use whatif::{parse_layer, predict, Intervention, Prediction};

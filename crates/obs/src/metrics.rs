@@ -8,43 +8,36 @@
 //! end-of-run, keeping the time column non-decreasing.
 
 use crate::chrome::fmt_num;
+use crate::hist::percentile;
 use crate::record::{FlowClass, ObsData};
+use std::fmt::Write as _;
 
 /// Header row of the metrics CSV.
 pub const CSV_HEADER: &str = "time_ns,metric,index,value";
 
 /// Flow classes in summary-row order; a class's position is its `index`
 /// in the `flow_dur_*` rows.
-pub const FLOW_CLASSES: [FlowClass; 6] = [
-    FlowClass::Rts,
-    FlowClass::Cts,
-    FlowClass::Eager,
-    FlowClass::Rndv,
-    FlowClass::Copy,
-    FlowClass::Ack,
-];
-
-/// Nearest-rank percentile of a sorted slice.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    let n = sorted.len();
-    let rank = ((q / 100.0 * n as f64).ceil() as usize).clamp(1, n);
-    sorted[rank - 1]
-}
+pub const FLOW_CLASSES: [FlowClass; 6] = FlowClass::ALL;
 
 /// Render the recorded gauges as a CSV document.
 pub fn metrics_csv(data: &ObsData) -> String {
-    let mut out = String::with_capacity(32 + data.gauges.len() * 32);
+    // One gauge row is ~32 bytes; the summary block is at most three
+    // rows per flow class.
+    let cap = CSV_HEADER.len() + 1 + (data.gauges.len() + 3 * FLOW_CLASSES.len()) * 32;
+    let mut out = String::with_capacity(cap);
     out.push_str(CSV_HEADER);
     out.push('\n');
     let mut t_end = data.makespan_ns();
     for g in &data.gauges {
-        out.push_str(&format!(
-            "{},{},{},{}\n",
+        writeln!(
+            out,
+            "{},{},{},{}",
             g.t_ns,
             g.metric.label(),
             g.index,
             fmt_num(g.value)
-        ));
+        )
+        .expect("writing to String cannot fail");
         t_end = t_end.max(g.t_ns);
     }
     // Duration histograms: launch-to-completion per flow class.
@@ -55,19 +48,18 @@ pub fn metrics_csv(data: &ObsData) -> String {
             .filter(|f| f.class == *class)
             .filter_map(|f| Some(f.delivered_ns.or(f.drained_ns)? - f.launch_ns))
             .collect();
-        if durs.is_empty() {
-            continue;
-        }
         durs.sort_unstable();
         for (name, q) in [
             ("flow_dur_p50", 50.0),
             ("flow_dur_p90", 90.0),
             ("flow_dur_p99", 99.0),
         ] {
-            out.push_str(&format!(
-                "{t_end},{name},{index},{}\n",
-                fmt_num(percentile(&durs, q) as f64)
-            ));
+            // Absent classes emit no rows.
+            let Some(v) = percentile(&durs, q) else {
+                continue;
+            };
+            writeln!(out, "{t_end},{name},{index},{}", fmt_num(v as f64))
+                .expect("writing to String cannot fail");
         }
     }
     out
@@ -141,9 +133,11 @@ mod tests {
 
     #[test]
     fn percentile_is_nearest_rank() {
-        assert_eq!(percentile(&[5], 50.0), 5);
-        assert_eq!(percentile(&[1, 2, 3, 4, 5], 50.0), 3);
-        assert_eq!(percentile(&[1, 2, 3, 4, 5], 99.0), 5);
-        assert_eq!(percentile(&[1, 2], 10.0), 1);
+        assert_eq!(percentile(&[5], 50.0), Some(5));
+        assert_eq!(percentile(&[1, 2, 3, 4, 5], 50.0), Some(3));
+        assert_eq!(percentile(&[1, 2, 3, 4, 5], 99.0), Some(5));
+        assert_eq!(percentile(&[1, 2], 10.0), Some(1));
+        // The empty case used to panic in `.clamp(1, 0)`; it is now total.
+        assert_eq!(percentile(&[], 50.0), None);
     }
 }

@@ -174,6 +174,25 @@ pub enum FlowClass {
 }
 
 impl FlowClass {
+    /// Every class, in canonical index order: a class's position here is
+    /// its `index` in the metrics-CSV summary rows and the streaming
+    /// summary's per-class tables.
+    pub const ALL: [FlowClass; 6] = [
+        FlowClass::Rts,
+        FlowClass::Cts,
+        FlowClass::Eager,
+        FlowClass::Rndv,
+        FlowClass::Copy,
+        FlowClass::Ack,
+    ];
+
+    /// Position in [`FlowClass::ALL`] in O(1) — the declaration order is
+    /// the canonical order, which `flow_class_index_is_its_all_position`
+    /// pins.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Stable lowercase label (trace event name).
     pub fn label(&self) -> &'static str {
         match self {
@@ -335,5 +354,17 @@ impl ObsData {
     /// The run's makespan in nanoseconds (latest rank finish).
     pub fn makespan_ns(&self) -> u64 {
         self.per_rank_finish_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FlowClass;
+
+    #[test]
+    fn flow_class_index_is_its_all_position() {
+        for (i, c) in FlowClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?} moved out of canonical order");
+        }
     }
 }

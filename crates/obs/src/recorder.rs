@@ -7,6 +7,7 @@
 //! runs with the [`NullRecorder`] and must show no regression.
 
 use crate::record::*;
+use crate::stream::ObsSummary;
 
 /// A step in a message's lifetime, reported as it happens.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,8 +41,30 @@ pub enum MsgEvent {
     Acked,
 }
 
-/// A flow launch, reported with its routing.
-#[derive(Clone, Debug)]
+impl MsgEvent {
+    /// Stable lowercase label (flight-recorder marker name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MsgEvent::RtsArrived => "rts_arrived",
+            MsgEvent::CtsLaunch => "cts_launch",
+            MsgEvent::CtsArrived => "cts_arrived",
+            MsgEvent::DataLaunch => "data_launch",
+            MsgEvent::Drained => "drained",
+            MsgEvent::Delivered => "delivered",
+            MsgEvent::Matched { .. } => "matched",
+            MsgEvent::RecvReady => "recv_ready",
+            MsgEvent::Dropped => "dropped",
+            MsgEvent::Retransmit => "retransmit",
+            MsgEvent::Acked => "acked",
+        }
+    }
+}
+
+/// A flow launch. The link ids along the path travel as a borrowed
+/// slice parameter of [`Recorder::flow_start`] (not owned here), so the
+/// per-flow probe costs no allocation — sinks that keep the routing copy
+/// it, sinks that aggregate read it in place.
+#[derive(Clone, Copy, Debug)]
 pub struct FlowStart {
     /// Protocol class.
     pub class: FlowClass,
@@ -53,8 +76,6 @@ pub struct FlowStart {
     pub token: u64,
     /// Bytes carried.
     pub bytes: u64,
-    /// Link ids along the path.
-    pub links: Vec<u32>,
     /// Launch instant (ns).
     pub t_ns: u64,
 }
@@ -111,8 +132,9 @@ pub trait Recorder {
     /// A lifetime step of message `_msg`.
     fn msg_event(&mut self, _msg: u64, _ev: MsgEvent, _t_ns: u64) {}
     /// A flow launched into network slot `_slot` (slots are reused; the
-    /// latest launch owns the slot).
-    fn flow_start(&mut self, _slot: u32, _rec: FlowStart) {}
+    /// latest launch owns the slot). `_links` are the link ids along the
+    /// flow's path, borrowed from the runtime.
+    fn flow_start(&mut self, _slot: u32, _rec: FlowStart, _links: &[u32]) {}
     /// The flow in `_slot` fully injected its bytes.
     fn flow_drained(&mut self, _slot: u32, _t_ns: u64) {}
     /// The flow in `_slot` delivered (and left the network).
@@ -130,6 +152,19 @@ pub trait Recorder {
     fn gauge(&mut self, _t_ns: u64, _metric: GaugeMetric, _index: u32, _value: f64) {}
     /// The run completed; return the accumulated data, if any.
     fn finish(&mut self, _per_rank_finish_ns: &[u64]) -> Option<ObsData> {
+        None
+    }
+    /// The bounded-memory run summary, if this sink aggregates online
+    /// (see [`StreamRecorder`](crate::StreamRecorder)). Called by the
+    /// runtime right after [`Recorder::finish`].
+    fn finish_summary(&mut self) -> Option<ObsSummary> {
+        None
+    }
+    /// The flight-recorder tail as a Chrome-trace fragment, if this sink
+    /// keeps one. Called by the runtime on a stall diagnosis or a failed
+    /// audit — the recorder may be mid-run, so implementations must not
+    /// assume [`Recorder::finish`] ran.
+    fn flight_dump(&mut self) -> Option<String> {
         None
     }
 }
@@ -251,7 +286,7 @@ impl Recorder for MemRecorder {
         }
     }
 
-    fn flow_start(&mut self, slot: u32, rec: FlowStart) {
+    fn flow_start(&mut self, slot: u32, rec: FlowStart, links: &[u32]) {
         let idx = self.data.flows.len() as u32;
         self.data.flows.push(FlowRec {
             class: rec.class,
@@ -259,7 +294,7 @@ impl Recorder for MemRecorder {
             rank: rec.rank,
             token: rec.token,
             bytes: rec.bytes,
-            links: rec.links,
+            links: links.to_vec(),
             launch_ns: rec.t_ns,
             drained_ns: None,
             delivered_ns: None,
@@ -340,6 +375,171 @@ impl Recorder for MemRecorder {
     }
 }
 
+/// Static dispatch over the crate's recorders. The runtime stores this
+/// instead of a bare `Box<dyn Recorder>` so every probe on the hot path
+/// compiles to a predictable branch plus a direct call — an indirect
+/// vtable call per probe is measurable at millions of probes per run,
+/// especially on hosts with indirect-branch hardening. Sinks from
+/// outside the crate still attach through the [`AnyRecorder::Dyn`] arm
+/// at the old virtual-call cost.
+pub enum AnyRecorder {
+    /// Recording off (the default attachment).
+    Null(NullRecorder),
+    /// Full in-memory event recording ([`MemRecorder`]).
+    Mem(Box<MemRecorder>),
+    /// Bounded-memory streaming aggregation
+    /// ([`StreamRecorder`](crate::stream::StreamRecorder)).
+    Stream(Box<crate::stream::StreamRecorder>),
+    /// Any other sink, dispatched virtually.
+    Dyn(Box<dyn Recorder>),
+}
+
+/// Forward one call to whichever recorder is inside.
+macro_rules! fan_out {
+    ($self:ident, $r:ident => $call:expr) => {
+        match $self {
+            AnyRecorder::Null($r) => $call,
+            AnyRecorder::Mem($r) => $call,
+            AnyRecorder::Stream($r) => $call,
+            AnyRecorder::Dyn($r) => $call,
+        }
+    };
+}
+
+impl Recorder for AnyRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        fan_out!(self, r => r.enabled())
+    }
+
+    #[inline]
+    fn metrics_interval(&self) -> Option<u64> {
+        fan_out!(self, r => r.metrics_interval())
+    }
+
+    #[inline]
+    fn meta(&mut self, nranks: u32, link_labels: Vec<String>) {
+        fan_out!(self, r => r.meta(nranks, link_labels))
+    }
+
+    #[inline]
+    fn link_params(&mut self, caps: Vec<f64>, lat_ns: Vec<u64>) {
+        fan_out!(self, r => r.link_params(caps, lat_ns))
+    }
+
+    #[inline]
+    fn rank_windows(&mut self, rank: u32, noise: Vec<(u64, u64)>, stalls: Vec<(u64, u64)>) {
+        fan_out!(self, r => r.rank_windows(rank, noise, stalls))
+    }
+
+    #[inline]
+    fn msg_posted(
+        &mut self,
+        msg: u64,
+        src: u32,
+        dst: u32,
+        tag: u32,
+        bytes: u64,
+        eager: bool,
+        t_ns: u64,
+    ) {
+        fan_out!(self, r => r.msg_posted(msg, src, dst, tag, bytes, eager, t_ns))
+    }
+
+    #[inline]
+    fn msg_event(&mut self, msg: u64, ev: MsgEvent, t_ns: u64) {
+        fan_out!(self, r => r.msg_event(msg, ev, t_ns))
+    }
+
+    #[inline]
+    fn flow_start(&mut self, slot: u32, rec: FlowStart, links: &[u32]) {
+        fan_out!(self, r => r.flow_start(slot, rec, links))
+    }
+
+    #[inline]
+    fn flow_drained(&mut self, slot: u32, t_ns: u64) {
+        fan_out!(self, r => r.flow_drained(slot, t_ns))
+    }
+
+    #[inline]
+    fn flow_delivered(&mut self, slot: u32, t_ns: u64) {
+        fan_out!(self, r => r.flow_delivered(slot, t_ns))
+    }
+
+    #[inline]
+    fn dispatch(&mut self, rank: u32, begin_ns: u64, end_ns: u64, trigger: Trigger) {
+        fan_out!(self, r => r.dispatch(rank, begin_ns, end_ns, trigger))
+    }
+
+    #[inline]
+    fn protocol(&mut self, rank: u32, begin_ns: u64, end_ns: u64, kind: ProtoKind, msg: u64) {
+        fan_out!(self, r => r.protocol(rank, begin_ns, end_ns, kind, msg))
+    }
+
+    #[inline]
+    fn compute(&mut self, rank: u32, token: u64, begin_ns: u64, end_ns: u64, gpu: bool) {
+        fan_out!(self, r => r.compute(rank, token, begin_ns, end_ns, gpu))
+    }
+
+    #[inline]
+    fn phase(&mut self, rank: u32, phase: u32, begin: bool, t_ns: u64) {
+        fan_out!(self, r => r.phase(rank, phase, begin, t_ns))
+    }
+
+    #[inline]
+    fn gauge(&mut self, t_ns: u64, metric: GaugeMetric, index: u32, value: f64) {
+        fan_out!(self, r => r.gauge(t_ns, metric, index, value))
+    }
+
+    fn finish(&mut self, per_rank_finish_ns: &[u64]) -> Option<ObsData> {
+        fan_out!(self, r => r.finish(per_rank_finish_ns))
+    }
+
+    fn finish_summary(&mut self) -> Option<ObsSummary> {
+        fan_out!(self, r => r.finish_summary())
+    }
+
+    fn flight_dump(&mut self) -> Option<String> {
+        fan_out!(self, r => r.flight_dump())
+    }
+}
+
+impl From<NullRecorder> for AnyRecorder {
+    fn from(r: NullRecorder) -> AnyRecorder {
+        AnyRecorder::Null(r)
+    }
+}
+
+impl From<MemRecorder> for AnyRecorder {
+    fn from(r: MemRecorder) -> AnyRecorder {
+        AnyRecorder::Mem(Box::new(r))
+    }
+}
+
+impl From<crate::stream::StreamRecorder> for AnyRecorder {
+    fn from(r: crate::stream::StreamRecorder) -> AnyRecorder {
+        AnyRecorder::Stream(Box::new(r))
+    }
+}
+
+impl From<Box<MemRecorder>> for AnyRecorder {
+    fn from(r: Box<MemRecorder>) -> AnyRecorder {
+        AnyRecorder::Mem(r)
+    }
+}
+
+impl From<Box<crate::stream::StreamRecorder>> for AnyRecorder {
+    fn from(r: Box<crate::stream::StreamRecorder>) -> AnyRecorder {
+        AnyRecorder::Stream(r)
+    }
+}
+
+impl From<Box<dyn Recorder>> for AnyRecorder {
+    fn from(r: Box<dyn Recorder>) -> AnyRecorder {
+        AnyRecorder::Dyn(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,13 +586,12 @@ mod tests {
             rank: 0,
             token: 0,
             bytes: 8,
-            links: vec![1],
             t_ns: t,
         };
-        r.flow_start(3, start(10));
+        r.flow_start(3, start(10), &[1]);
         r.flow_drained(3, 20);
         r.flow_delivered(3, 25);
-        r.flow_start(3, start(30)); // slot reused
+        r.flow_start(3, start(30), &[1]); // slot reused
         r.flow_delivered(3, 45);
         let data = r.finish(&[50]).unwrap();
         assert_eq!(data.flows.len(), 2);

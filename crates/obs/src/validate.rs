@@ -518,6 +518,226 @@ pub fn validate_critical_report(text: &str) -> Result<f64, String> {
     Ok(sum)
 }
 
+/// What [`validate_summary`] found in a well-formed streaming summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SummaryCheck {
+    /// `totals.msgs`.
+    pub msgs: u64,
+    /// `totals.flow_starts`.
+    pub flows: u64,
+    /// Flow classes carrying at least one sample.
+    pub classes: usize,
+    /// Links with heatmap traffic.
+    pub hot_links: usize,
+    /// Ranks (length of every per-rank array).
+    pub ranks: usize,
+}
+
+/// Non-negative integer field of a summary object.
+fn sum_u64(v: &Json, key: &str) -> Result<u64, String> {
+    let n = v
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric '{key}'"))?;
+    if n < 0.0 || n != n.trunc() {
+        return Err(format!("'{key}' must be a non-negative integer, got {n}"));
+    }
+    Ok(n as u64)
+}
+
+/// Check one serialized histogram: the exact counters must agree with
+/// the sparse buckets (counts sum up; bounds ascending; min/max present
+/// exactly when non-empty). Returns the sample count.
+fn check_hist(v: &Json, what: &str) -> Result<u64, String> {
+    let at = |e: String| format!("{what}: {e}");
+    let count = sum_u64(v, "count").map_err(at)?;
+    sum_u64(v, "sum").map_err(at)?;
+    let buckets = v
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing 'buckets' array"))?;
+    let mut total = 0u64;
+    let mut prev_low: Option<u64> = None;
+    for (i, b) in buckets.iter().enumerate() {
+        let pair = b
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{what}: buckets[{i}] must be a [lower_bound, count] pair"))?;
+        let low = pair[0].as_num().unwrap_or(-1.0);
+        let c = pair[1].as_num().unwrap_or(0.0);
+        if low < 0.0 || c <= 0.0 {
+            return Err(format!("{what}: buckets[{i}] has bad values"));
+        }
+        if prev_low.is_some_and(|p| p >= low as u64) {
+            return Err(format!("{what}: bucket bounds not ascending at [{i}]"));
+        }
+        prev_low = Some(low as u64);
+        total += c as u64;
+    }
+    if total != count {
+        return Err(format!(
+            "{what}: bucket counts sum to {total}, 'count' says {count}"
+        ));
+    }
+    match (count, v.get("min"), v.get("max")) {
+        (0, None, None) => {}
+        (0, _, _) => return Err(format!("{what}: empty histogram carries min/max")),
+        (_, Some(min), Some(max)) => {
+            let (min, max) = (min.as_num().unwrap_or(-1.0), max.as_num().unwrap_or(-1.0));
+            if min < 0.0 || max < min {
+                return Err(format!("{what}: bad min/max"));
+            }
+        }
+        _ => return Err(format!("{what}: non-empty histogram missing min/max")),
+    }
+    Ok(count)
+}
+
+/// Parse and semantically validate a streaming summary JSON document
+/// (format `adapt-obs-summary-v1`, produced by
+/// [`summary_json`](crate::stream::summary_json)).
+///
+/// Checks, beyond the parse itself: the format tag; that every
+/// histogram's sparse buckets agree with its exact `count`; that the
+/// four stage histograms are present; that heatmap cells are in-range
+/// `[column, bytes]` pairs; and that all five per-rank arrays have
+/// exactly `nranks` entries.
+pub fn validate_summary(text: &str) -> Result<SummaryCheck, String> {
+    let doc = parse_json(text)?;
+    let format = doc
+        .get("format")
+        .and_then(Json::as_str)
+        .ok_or("missing 'format'")?;
+    if format != crate::stream::SUMMARY_FORMAT {
+        return Err(format!("unsupported summary format {format:?}"));
+    }
+    let nranks = sum_u64(&doc, "nranks")?;
+    sum_u64(&doc, "makespan_ns")?;
+    let totals = doc.get("totals").ok_or("missing 'totals'")?;
+    for key in [
+        "msgs",
+        "eager_msgs",
+        "unexpected_matches",
+        "drops",
+        "retransmits",
+        "bytes_posted",
+        "flow_starts",
+        "dispatches",
+        "protocols",
+        "peak_open_msgs",
+        "peak_slots",
+    ] {
+        sum_u64(totals, key).map_err(|e| format!("totals: {e}"))?;
+    }
+    let mut chk = SummaryCheck {
+        msgs: sum_u64(totals, "msgs")?,
+        flows: sum_u64(totals, "flow_starts")?,
+        ranks: nranks as usize,
+        ..SummaryCheck::default()
+    };
+
+    let classes = doc
+        .get("flow_dur")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'flow_dur' array")?;
+    let known: Vec<&str> = crate::record::FlowClass::ALL
+        .iter()
+        .map(|c| c.label())
+        .collect();
+    for (i, entry) in classes.iter().enumerate() {
+        let class = entry
+            .get("class")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("flow_dur[{i}]: missing 'class'"))?;
+        if !known.contains(&class) {
+            return Err(format!("flow_dur[{i}]: unknown class {class:?}"));
+        }
+        let h = entry
+            .get("hist")
+            .ok_or_else(|| format!("flow_dur[{i}]: missing 'hist'"))?;
+        if check_hist(h, &format!("flow_dur[{i}] ({class})"))? == 0 {
+            return Err(format!(
+                "flow_dur[{i}] ({class}): empty classes must be omitted"
+            ));
+        }
+        chk.classes += 1;
+    }
+
+    let stages = doc.get("stages").ok_or("missing 'stages'")?;
+    for name in [
+        "posted_to_matched",
+        "matched_to_delivered",
+        "rts_to_cts",
+        "retransmits_per_msg",
+    ] {
+        let h = stages
+            .get(name)
+            .ok_or_else(|| format!("stages: missing '{name}'"))?;
+        let count = check_hist(h, &format!("stages.{name}"))?;
+        // Every stage sample came from a posted message; a stage count
+        // above totals.msgs means the totals or a histogram is corrupt.
+        // (The reverse is legal — a stalled run posts messages that
+        // never reach later stages.)
+        if count > chk.msgs {
+            return Err(format!(
+                "stages.{name}: count {count} exceeds totals.msgs {}",
+                chk.msgs
+            ));
+        }
+    }
+
+    let heat = doc.get("heat").ok_or("missing 'heat'")?;
+    sum_u64(heat, "bucket_ns")?;
+    let cols = sum_u64(heat, "cols")?;
+    let links = heat
+        .get("links")
+        .and_then(Json::as_arr)
+        .ok_or("heat: missing 'links' array")?;
+    for (i, l) in links.iter().enumerate() {
+        sum_u64(l, "link").map_err(|e| format!("heat.links[{i}]: {e}"))?;
+        l.get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("heat.links[{i}]: missing 'label'"))?;
+        let cells = l
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("heat.links[{i}]: missing 'cells'"))?;
+        if cells.is_empty() {
+            return Err(format!(
+                "heat.links[{i}]: traffic-free links must be omitted"
+            ));
+        }
+        for (j, c) in cells.iter().enumerate() {
+            let pair = c.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                format!("heat.links[{i}].cells[{j}] must be a [column, bytes] pair")
+            })?;
+            let col = pair[0].as_num().unwrap_or(-1.0);
+            if col < 0.0 || col >= cols as f64 {
+                return Err(format!("heat.links[{i}].cells[{j}]: column out of range"));
+            }
+        }
+        chk.hot_links += 1;
+    }
+
+    let ranks = doc.get("ranks").ok_or("missing 'ranks'")?;
+    for name in ["finish_ns", "busy_ns", "compute_ns", "noise_ns", "stall_ns"] {
+        let arr = ranks
+            .get(name)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("ranks: missing '{name}' array"))?;
+        if arr.len() != nranks as usize {
+            return Err(format!(
+                "ranks.{name}: {} entries for {nranks} ranks",
+                arr.len()
+            ));
+        }
+        if arr.iter().any(|v| v.as_num().is_none_or(|n| n < 0.0)) {
+            return Err(format!("ranks.{name}: non-numeric or negative entry"));
+        }
+    }
+    Ok(chk)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +823,39 @@ mod tests {
             .unwrap_err()
             .contains("not 100%"));
         assert!(validate_critical_report("no report here\n").is_err());
+    }
+
+    #[test]
+    fn summary_check_catches_tampering() {
+        use crate::recorder::Recorder as _;
+        let mut r = crate::stream::StreamRecorder::new();
+        r.meta(2, vec!["L0".into()]);
+        r.msg_posted(0, 0, 1, 0, 64, true, 10);
+        r.msg_event(
+            0,
+            crate::recorder::MsgEvent::Matched {
+                posted_ns: Some(5),
+                unexpected: false,
+            },
+            40,
+        );
+        r.finish(&[100, 100]);
+        let good = crate::stream::summary_json(&r.finish_summary().unwrap());
+        validate_summary(&good).unwrap();
+        // A histogram count that no longer matches its buckets.
+        let bad = good.replacen("\"count\":1,", "\"count\":2,", 1);
+        assert!(validate_summary(&bad).unwrap_err().contains("sum to"));
+        // Per-rank arrays must match nranks.
+        let bad = good.replace("\"nranks\": 2", "\"nranks\": 3");
+        assert!(validate_summary(&bad).unwrap_err().contains("ranks"));
+        // Deflated totals: a stage histogram counting more samples than
+        // messages posted is corruption (the reverse is a stalled run).
+        let bad = good.replacen("\"msgs\":1,", "\"msgs\":0,", 1);
+        assert!(validate_summary(&bad)
+            .unwrap_err()
+            .contains("exceeds totals.msgs"));
+        assert!(validate_summary("{\"format\": \"nope\"}").is_err());
+        assert!(validate_summary("not json").is_err());
     }
 
     #[test]

@@ -12,7 +12,8 @@ use adapt::collectives::{
 };
 use adapt::obs::{
     chrome_trace, critical_path, diff_runs, from_json, metrics_csv, predict, render_prediction,
-    render_validation, to_json, Intervention, MemRecorder, ObsData,
+    render_validation, summary_json, summary_report, to_json, AnyRecorder, Intervention,
+    MemRecorder, ObsData, StreamRecorder,
 };
 use adapt::prelude::*;
 
@@ -72,6 +73,18 @@ const FLAGS: &[(&str, &str, &str)] = &[
         "export the full recording (adapt-obs-v1 JSON)",
     ),
     (
+        "summary-out",
+        "FILE.json",
+        "stream a bounded-memory telemetry summary (adapt-obs-summary-v1 \
+JSON) and print the percentile/hot-spot report",
+    ),
+    (
+        "flight",
+        "N",
+        "keep a flight ring of the last N spans (streaming recorder); \
+dumped to adapt-flight.json on a stall or failed audit",
+    ),
+    (
         "whatif",
         "SPEC[,SPEC...]",
         "predict interventions (noop|noise-off|rank-noise-off=R|stalls-off|\
@@ -125,42 +138,84 @@ fn flag(args: &[String], key: &str) -> bool {
 }
 
 /// Observability flags: where to write the Chrome trace and metrics CSV,
-/// and whether to print the critical path.
+/// whether to print the critical path, and the bounded-memory streaming
+/// path (`--summary-out` / `--flight`).
 struct ObsArgs {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     critical: bool,
     interval_ns: u64,
+    summary_out: Option<String>,
+    flight: Option<usize>,
 }
 
 impl ObsArgs {
     fn parse(args: &[String]) -> ObsArgs {
-        ObsArgs {
+        let o = ObsArgs {
             trace_out: arg(args, "trace-out"),
             metrics_out: arg(args, "metrics-out"),
             critical: flag(args, "critical-path"),
             interval_ns: arg(args, "metrics-interval")
                 .map(|s| s.parse().expect("metrics-interval"))
                 .unwrap_or(10_000),
-        }
+            summary_out: arg(args, "summary-out"),
+            flight: arg(args, "flight").map(|s| {
+                let n: usize = s.parse().expect("flight");
+                assert!(n >= 1, "--flight needs at least 1 span");
+                n
+            }),
+        };
+        assert!(
+            !(o.streaming() && (o.trace_out.is_some() || o.metrics_out.is_some() || o.critical)),
+            "--summary-out/--flight use the bounded-memory streaming recorder; \
+             --trace-out/--metrics-out/--critical-path need the full recorder — pick one side"
+        );
+        o
     }
 
     fn wanted(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some() || self.critical
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.critical || self.streaming()
+    }
+
+    /// Streaming (aggregate-only) mode: memory stays O(ranks + links +
+    /// buckets) no matter how long the run.
+    fn streaming(&self) -> bool {
+        self.summary_out.is_some() || self.flight.is_some()
     }
 
     /// The recorder this invocation asked for. Gauge sampling only runs
     /// when a metrics file was requested.
-    fn recorder(&self) -> MemRecorder {
-        if self.metrics_out.is_some() {
-            MemRecorder::with_metrics(self.interval_ns)
+    fn recorder(&self) -> AnyRecorder {
+        if self.streaming() {
+            let mut r = StreamRecorder::new();
+            if let Some(n) = self.flight {
+                r = r.with_flight(n);
+            }
+            r.into()
+        } else if self.metrics_out.is_some() {
+            MemRecorder::with_metrics(self.interval_ns).into()
         } else {
-            MemRecorder::new()
+            MemRecorder::new().into()
         }
     }
 
     /// Write/print whatever was requested from a recorded run.
     fn emit(&self, res: &adapt::mpi::RunResult) {
+        if self.streaming() {
+            let s = res
+                .summary
+                .as_ref()
+                .expect("streaming run carries a summary");
+            if let Some(path) = &self.summary_out {
+                std::fs::write(path, summary_json(s)).expect("write summary");
+                println!(
+                    "  summary: {} msgs, {} flows aggregated online -> {path}",
+                    s.msgs_posted, s.flow_starts
+                );
+            }
+            print!("{}", summary_report(s));
+            return;
+        }
         let obs = res
             .obs
             .as_ref()
@@ -180,6 +235,18 @@ impl ObsArgs {
         if self.critical {
             print!("{}", critical_path(obs).render());
         }
+    }
+}
+
+/// Where a stall or audit post-mortem lands (see `--flight`).
+const FLIGHT_DUMP_PATH: &str = "adapt-flight.json";
+
+/// If the run completed but the audit is dirty and a flight ring was
+/// kept, write the tail before the audit assert fires.
+fn dump_flight_on_dirty_audit(res: &adapt::mpi::RunResult) {
+    if let Some(frag) = &res.flight {
+        std::fs::write(FLIGHT_DUMP_PATH, frag).expect("write flight dump");
+        eprintln!("  flight recorder: audit failed, tail -> {FLIGHT_DUMP_PATH}");
     }
 }
 
@@ -281,6 +348,10 @@ impl FaultArgs {
         match world.try_run(programs) {
             Ok(res) => res,
             Err(diag) => {
+                if let Some(frag) = &diag.flight {
+                    std::fs::write(FLIGHT_DUMP_PATH, frag).expect("write flight dump");
+                    eprintln!("flight recorder: last spans -> {FLIGHT_DUMP_PATH}");
+                }
                 eprintln!("{diag}");
                 std::process::exit(EXIT_STALLED);
             }
@@ -451,11 +522,17 @@ fn main() {
                 ClusterNoise::silent(nranks)
             };
             let obs = ObsArgs::parse(&args);
+            assert!(
+                !(whatif.wanted() && obs.streaming()),
+                "--whatif/--diff-against/--obs-out need the full recorder; \
+                 drop --summary-out/--flight"
+            );
             let mut world = shard(World::cpu(machine, nranks, noise_model));
             if obs.wanted() || whatif.wanted() {
-                world = world.with_recorder(Box::new(obs.recorder()));
+                world = world.with_recorder(obs.recorder());
             }
             let res = faults.run(world, programs);
+            dump_flight_on_dirty_audit(&res);
             println!(
                 "{op} (ADAPT) on {nranks} ranks, {msg} bytes: {:.1} us",
                 res.makespan.as_micros_f64()
@@ -517,15 +594,18 @@ fn main() {
         return;
     }
     let obs = ObsArgs::parse(&args);
+    assert!(
+        !(whatif.wanted() && obs.streaming()),
+        "--whatif/--diff-against/--obs-out need the full recorder; \
+         drop --summary-out/--flight"
+    );
     if obs.wanted() || whatif.wanted() {
         // Recorded run: same world and programs as run_once_scoped, with a
         // recorder attached. Results are identical either way — recording
         // never perturbs the simulation.
         let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let res = faults.run(
-            shard(world).with_recorder(Box::new(obs.recorder())),
-            programs,
-        );
+        let res = faults.run(shard(world).with_recorder(obs.recorder()), programs);
+        dump_flight_on_dirty_audit(&res);
         assert!(res.audit.is_clean(), "{}", res.audit);
         println!(
             "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",

@@ -8,8 +8,8 @@
 
 use adapt::collectives::{world_for_case, CollectiveCase, Library, NoiseScope, OpKind};
 use adapt::obs::{
-    chrome_trace, critical_path, metrics_csv, validate_chrome, validate_metrics_csv, Layer,
-    MemRecorder,
+    chrome_trace, critical_path, metrics_csv, summary_json, summary_report, validate_chrome,
+    validate_metrics_csv, validate_summary, Layer, MemRecorder, StreamRecorder,
 };
 use adapt::prelude::*;
 
@@ -99,6 +99,79 @@ fn recording_is_free_and_critical_path_tiles_the_makespan() {
         let text = cp.render();
         assert!(text.contains(&format!("{:.3} us", cp.makespan_ns as f64 / 1000.0)));
     }
+}
+
+#[test]
+fn streaming_summary_is_reproducible_validated_and_observer_free() {
+    let stream = |noise: f64, seed: u64| {
+        let case = fig8_case();
+        let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
+        let res = world
+            .with_recorder(Box::new(StreamRecorder::new()))
+            .run(programs);
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        res
+    };
+    let a = stream(10.0, 42);
+    let b = stream(10.0, 42);
+    let (sa, sb) = (a.summary.as_ref().unwrap(), b.summary.as_ref().unwrap());
+    let (ja, jb) = (summary_json(sa), summary_json(sb));
+    assert_eq!(ja, jb, "summary JSON must be bit-reproducible");
+
+    // The export is well-formed by the repo's own validator, and the
+    // check's shape matches the run.
+    let check = validate_summary(&ja).expect("summary must validate");
+    assert_eq!(check.ranks as u32, fig8_case().nranks);
+    assert!(check.msgs > 0 && check.flows > 0 && check.hot_links > 0);
+
+    // Observer-effect freedom: streaming aggregation never perturbs the
+    // simulation, and the aggregate recorder carries no span buffers.
+    let off = run(10.0, 42, false);
+    assert_eq!(off.per_rank_finish, a.per_rank_finish);
+    assert_eq!(off.makespan, a.makespan);
+    assert!(a.obs.is_none(), "streaming runs build no ObsData");
+
+    // The human-readable report renders and names the headline numbers.
+    let text = summary_report(sa);
+    assert!(text.contains("streaming telemetry summary"));
+    assert!(text.contains("posted->matched"));
+}
+
+#[test]
+fn stall_dumps_a_valid_flight_fragment() {
+    // A guaranteed stall under a tight watchdog: the streaming recorder's
+    // flight ring must come back attached to the diagnosis as a
+    // self-contained Chrome-trace fragment that passes the validator.
+    let case = CollectiveCase {
+        machine: profiles::minicluster(2, 2, 4),
+        nranks: 16,
+        op: OpKind::Bcast,
+        library: Library::OmpiAdapt,
+        msg_bytes: 256 << 10,
+    };
+    let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+    let plan = FaultPlan::lossy(1, 0.0).with_stall(
+        2,
+        Time::ZERO,
+        Time::ZERO + Duration::from_millis(3_600_000),
+    );
+    let diag = match world
+        .with_faults(plan)
+        .with_watchdog(Duration::from_millis(1))
+        .with_recorder(Box::new(StreamRecorder::new().with_flight(512)))
+        .try_run(programs)
+    {
+        Err(d) => d,
+        Ok(_) => panic!("an hour-long stall must trip a 1ms watchdog"),
+    };
+    assert!(diag.watchdog_fired);
+    let frag = diag
+        .flight
+        .as_ref()
+        .expect("a streaming recorder with a flight ring must dump its tail");
+    let summary = validate_chrome(frag).expect("flight fragment must validate");
+    assert!(summary.complete_spans > 0, "tail must hold recent spans");
+    assert!(frag.contains("flight_spans_dropped"));
 }
 
 #[test]

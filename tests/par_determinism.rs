@@ -11,6 +11,7 @@
 
 use adapt::collectives::{noise_for_case, CollectiveCase, Library, NoiseScope, OpKind};
 use adapt::mpi::RunResult;
+use adapt::obs::{summary_json, StreamRecorder};
 use adapt::prelude::*;
 use bytes::Bytes;
 use std::fmt::Write as _;
@@ -91,6 +92,39 @@ fn golden_fixture_is_thread_count_invariant() {
         let world = World::cpu(case.machine.clone(), case.nranks, noise);
         (world, case.programs())
     });
+}
+
+/// The streaming telemetry summary is a pure function of the probe
+/// stream, and the sharded core pops events in a byte-identical order at
+/// every pool width — so the exported summary JSON must be byte-identical
+/// at threads 1/2/4/8 on the golden fixture.
+#[test]
+fn streaming_summary_is_thread_count_invariant() {
+    let run = |threads: usize| {
+        let case = CollectiveCase {
+            machine: profiles::cori(4),
+            nranks: 128,
+            op: OpKind::Bcast,
+            library: Library::OmpiAdapt,
+            msg_bytes: 1 << 20,
+        };
+        let noise = noise_for_case(&case, NoiseScope::PerNode, 10.0, 42);
+        let world = World::cpu(case.machine.clone(), case.nranks, noise)
+            .with_threads(threads)
+            .with_recorder(Box::new(StreamRecorder::new()));
+        let res = world.run(case.programs());
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        summary_json(&res.summary.expect("streaming run carries a summary"))
+    };
+    let want = run(1);
+    assert!(want.contains("\"format\": \"adapt-obs-summary-v1\""));
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            run(threads),
+            want,
+            "summary JSON diverged between threads=1 and threads={threads}"
+        );
+    }
 }
 
 /// Chaos fixture: seeded loss plus a rank stall — retransmit timers
