@@ -41,10 +41,28 @@ impl BcastSpec {
 }
 
 /// One rank's state machine for the ADAPT broadcast.
+///
+/// Fault tolerance (ULFM-style shrink): on a revoke notification the
+/// rank rebuilds the tree around the agreed dead set. A child whose
+/// parent died re-posts a full receive window toward its adopting
+/// parent; the adopting parent resends every segment from 0 to each
+/// adopted child. Both sides derive the decision from the *same*
+/// runtime snapshot (`dead` + `active`), so the resend and the re-post
+/// always pair up. Duplicate payloads are ignored; dead children are
+/// dropped from the completion target. When the root dies no survivor
+/// holds the payload authoritatively — the rank stops posting and the
+/// runtime reports a structured `RanksFailed` instead of hanging.
 pub struct AdaptBcast {
     rank: u32,
     parent: Option<u32>,
+    /// The original tree, kept for deterministic rebuilds on failure.
+    tree: Arc<Tree>,
+    /// Child slots only grow (send tokens encode the slot index): a dead
+    /// child is masked via `alive`, an adopted child appends a new slot.
     children: Vec<u32>,
+    /// Per child: still alive? Dead slots stop refilling and leave the
+    /// completion target.
+    alive: Vec<bool>,
     segs: Segments,
     cfg: AdaptConfig,
     /// The root's full payload (root only).
@@ -53,16 +71,17 @@ pub struct AdaptBcast {
     received: Vec<Option<Payload>>,
     /// Segment ids available for forwarding, in availability order. For the
     /// root this is `0..nseg` up front (the paper's "segment pool").
+    /// Distinct: a duplicate arrival is never pushed twice.
     ready: Vec<u64>,
     /// Per child: cursor into `ready`.
     cursor: Vec<usize>,
     /// Per child: sends currently in flight.
     outstanding: Vec<u32>,
-    /// Total SendDone count across children.
-    sends_done: u64,
-    /// Receives completed.
+    /// Per child: SendDone count.
+    done: Vec<u64>,
+    /// Receives completed from the *current* parent (resets on adoption).
     recvs_done: u64,
-    /// Receives posted so far.
+    /// Receives posted toward the current parent (resets on adoption).
     recvs_posted: u64,
     finished: bool,
     /// Completion time, for inspection after the run.
@@ -92,15 +111,17 @@ impl AdaptBcast {
         AdaptBcast {
             rank,
             parent: spec.tree.parent(rank),
-            children: children.clone(),
+            tree: spec.tree.clone(),
+            alive: vec![true; children.len()],
+            cursor: vec![0; children.len()],
+            outstanding: vec![0; children.len()],
+            done: vec![0; children.len()],
+            children,
             segs,
             cfg: spec.cfg,
             root_payload,
             received: vec![None; nseg as usize],
             ready,
-            cursor: vec![0; children.len()],
-            outstanding: vec![0; children.len()],
-            sends_done: 0,
             recvs_done: 0,
             recvs_posted: 0,
             finished: false,
@@ -127,8 +148,11 @@ impl AdaptBcast {
     }
 
     /// Keep child `c`'s pipeline full: post sends while below `N` and
-    /// segments are available.
+    /// segments are available. A dead child's pipeline never refills.
     fn push_sends(&mut self, ctx: &mut dyn ProgramCtx, c: usize) {
+        if !self.alive[c] {
+            return;
+        }
         while self.outstanding[c] < self.cfg.outstanding_sends && self.cursor[c] < self.ready.len()
         {
             let seg = self.ready[self.cursor[c]];
@@ -162,8 +186,13 @@ impl AdaptBcast {
         if self.finished {
             return;
         }
-        let recv_done = self.is_root() || self.recvs_done == self.nseg();
-        let send_done = self.sends_done == self.nseg() * self.children.len() as u64;
+        let nseg = self.nseg();
+        let recv_done = self.is_root() || self.recvs_done == nseg;
+        // Shrink semantics: only live children count toward completion;
+        // a dead child's outstanding sends complete (or are completed by
+        // the failure detector) but its remaining segments are owed to
+        // no one.
+        let send_done = (0..self.children.len()).all(|c| !self.alive[c] || self.done[c] == nseg);
         if recv_done && send_done {
             self.finished = true;
             self.finished_at = Some(ctx.now());
@@ -212,24 +241,95 @@ impl RankProgram for AdaptBcast {
                 debug_assert_eq!(kind, KIND_SEND);
                 let c = c as usize;
                 self.outstanding[c] -= 1;
-                self.sends_done += 1;
+                self.done[c] += 1;
                 self.push_sends(ctx, c);
             }
             Completion::RecvDone {
-                token, tag, data, ..
+                token,
+                src,
+                tag,
+                data,
             } => {
                 let (kind, _, _idx) = unpack_token(token);
                 debug_assert_eq!(kind, KIND_RECV);
                 let seg = tag as u64;
-                self.received[seg as usize] = Some(data);
-                self.recvs_done += 1;
-                self.ready.push(seg);
-                self.push_recvs(ctx);
+                // First arrival wins: after an adoption the new parent
+                // resends everything, so segments the dead parent already
+                // delivered arrive again and are dropped here.
+                if self.received[seg as usize].is_none() {
+                    self.received[seg as usize] = Some(data);
+                    self.ready.push(seg);
+                }
+                // Only the current parent's deliveries advance the
+                // pipeline: a straggler from a dead parent (matched
+                // before the revoke) still contributes its data above
+                // but must not distort the new window's accounting.
+                if Some(src) == self.parent {
+                    self.recvs_done += 1;
+                    self.push_recvs(ctx);
+                }
                 for c in 0..self.children.len() {
                     self.push_sends(ctx, c);
                 }
             }
-            other => panic!("broadcast got unexpected completion {other:?}"),
+            // Broadcast posts no compute/copy/GPU work; a stray
+            // completion of those kinds is a harness bug, but never
+            // worth killing a fault-injected run over.
+            other => debug_assert!(false, "broadcast got unexpected completion {other:?}"),
+        }
+        self.check_done(ctx);
+    }
+
+    fn on_peer_failed(&mut self, ctx: &mut dyn ProgramCtx, dead: &[u32], active: &[u32]) {
+        if self.finished || self.nseg() == 0 {
+            return;
+        }
+        // Dead children leave the completion target; their slots stay
+        // (send tokens encode the slot index) but never refill.
+        for (c, &child) in self.children.iter().enumerate() {
+            if dead.contains(&child) {
+                self.alive[c] = false;
+            }
+        }
+        let Ok(rebuilt) = self.tree.rebuild_without(dead) else {
+            // The root died: no survivor holds the payload with
+            // authority, so recovery is impossible. Posting nothing lets
+            // the runtime diagnose a structured RanksFailed.
+            return;
+        };
+        // Child side: my parent died — attach to the adopting parent.
+        if let Some(p) = self.parent {
+            if dead.contains(&p) {
+                let np = rebuilt.parent(self.rank);
+                self.parent = np;
+                if np.is_some_and(|np| active.contains(&np)) {
+                    // The adopting parent (same snapshot) commits to
+                    // resending every segment from 0; mirror it with a
+                    // fresh full receive window. Anything the dead parent
+                    // already delivered arrives again and deduplicates.
+                    self.recvs_posted = 0;
+                    self.recvs_done = 0;
+                    self.push_recvs(ctx);
+                }
+                // Otherwise the adopting parent already finished (or no
+                // live ancestor remains): no resend can come. If segments
+                // are missing this rank stalls and the run ends in a
+                // structured RanksFailed — partial completion, no panic.
+            }
+        }
+        // Parent side: adopt the orphans the rebuilt tree assigns to us,
+        // skipping any that already finished (they need nothing, and
+        // sending to a finished rank would poison the run).
+        for &child in rebuilt.children(self.rank) {
+            if !self.children.contains(&child) && active.contains(&child) {
+                self.children.push(child);
+                self.alive.push(true);
+                self.cursor.push(0);
+                self.outstanding.push(0);
+                self.done.push(0);
+                let c = self.children.len() - 1;
+                self.push_sends(ctx, c);
+            }
         }
         self.check_done(ctx);
     }

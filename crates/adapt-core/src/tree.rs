@@ -184,6 +184,83 @@ impl Tree {
         self.children.iter().map(Vec::len).max().unwrap_or(0)
     }
 
+    /// Rebuild the tree around a set of dead ranks: every live rank whose
+    /// ancestor chain crosses a dead rank is re-parented to its nearest
+    /// *live* ancestor, and dead ranks are cut out entirely (no parent,
+    /// no children). Send order under the adopting parent is preserved:
+    /// surviving original children first, adopted orphans after, in
+    /// original-tree order.
+    ///
+    /// Errors if the root itself is dead — there is no rank to shrink the
+    /// collective onto, so the caller must surface a structured failure.
+    pub fn rebuild_without(&self, dead: &[Rank]) -> Result<Tree, String> {
+        let n = self.len() as usize;
+        let mut is_dead = vec![false; n];
+        for &d in dead {
+            if (d as usize) < n {
+                is_dead[d as usize] = true;
+            }
+        }
+        if is_dead[self.root as usize] {
+            return Err(format!("root rank {} is dead; cannot rebuild", self.root));
+        }
+        let mut t = Tree::empty(self.len(), self.root);
+        // BFS from the root keeps adoption order deterministic and equal
+        // to the original send order at every adopting parent.
+        let mut frontier: Vec<(Rank, Rank)> = self // (live parent, subtree top)
+            .children(self.root)
+            .iter()
+            .map(|&c| (self.root, c))
+            .collect();
+        while let Some((live_parent, top)) = frontier.pop() {
+            if is_dead[top as usize] {
+                // Cut the dead rank out; its children are adopted by the
+                // nearest live ancestor, keeping their original order.
+                for &c in self.children(top).iter().rev() {
+                    frontier.push((live_parent, c));
+                }
+            } else {
+                t.parent[top as usize] = Some(live_parent);
+                t.children[live_parent as usize].push(top);
+                for &c in self.children(top).iter().rev() {
+                    frontier.push((top, c));
+                }
+            }
+        }
+        // Normalize adoption order: `pop` above walks depth-first, which
+        // can interleave sibling subtrees, so sort each child list by the
+        // original tree's BFS discovery order (rank order of first
+        // appearance is not stable enough — use original depth, then the
+        // original parent's send position chain). Simpler and fully
+        // deterministic: surviving original children keep their relative
+        // order, adopted ranks append in original-tree preorder.
+        let preorder = self.preorder();
+        let mut pos = vec![0usize; n];
+        for (i, &r) in preorder.iter().enumerate() {
+            pos[r as usize] = i;
+        }
+        for (p, kids) in t.children.iter_mut().enumerate() {
+            kids.sort_by_key(|&c| {
+                let original = self.parent[c as usize] == Some(p as Rank);
+                (!original, pos[c as usize])
+            });
+        }
+        Ok(t)
+    }
+
+    /// Preorder walk (root first, children in send order).
+    fn preorder(&self) -> Vec<Rank> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        let mut stack = vec![self.root];
+        while let Some(r) = stack.pop() {
+            out.push(r);
+            for &c in self.children(r).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
     /// Check the spanning-tree invariants; used by tests and on composition.
     pub fn validate(&self) -> Result<(), String> {
         if self.parent[self.root as usize].is_some() {
@@ -426,6 +503,77 @@ mod tests {
             assert_eq!(t.root(), root, "root {root}");
             t.validate().unwrap();
             assert_eq!(t.len(), 24);
+        }
+    }
+
+    #[test]
+    fn rebuild_without_reparents_orphans_to_live_ancestor() {
+        // Binomial over 8: 0 -> {1, 2, 4}, 4 -> {5, 6}, 6 -> {7}.
+        let t = Tree::build(TreeKind::Binomial, 8, 0);
+        let r = t.rebuild_without(&[4]).unwrap();
+        // 4's children are adopted by the root, after its surviving
+        // original children, in original order.
+        assert_eq!(r.children(0), &[1, 2, 5, 6]);
+        assert_eq!(r.parent(5), Some(0));
+        assert_eq!(r.parent(6), Some(0));
+        // The grandchild keeps its live parent.
+        assert_eq!(r.parent(7), Some(6));
+        // The dead rank is cut out entirely.
+        assert_eq!(r.parent(4), None);
+        assert_eq!(r.children(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn rebuild_without_skips_chains_of_dead_ranks() {
+        // Chain 0 -> 1 -> 2 -> 3 -> 4 with 1, 2, 3 all dead: 4 hops all
+        // the way up to the root.
+        let t = Tree::build(TreeKind::Chain, 5, 0);
+        let r = t.rebuild_without(&[1, 2, 3]).unwrap();
+        assert_eq!(r.parent(4), Some(0));
+        assert_eq!(r.children(0), &[4]);
+    }
+
+    #[test]
+    fn rebuild_without_dead_root_errors() {
+        let t = Tree::build(TreeKind::Binary, 7, 0);
+        assert!(t.rebuild_without(&[0]).is_err());
+        // Leaf kills never error.
+        assert!(t.rebuild_without(&[6]).is_ok());
+    }
+
+    #[test]
+    fn rebuild_without_nobody_dead_is_identity() {
+        for kind in [TreeKind::Binomial, TreeKind::Binary, TreeKind::Chain] {
+            let t = Tree::build(kind, 13, 0);
+            assert_eq!(t.rebuild_without(&[]).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn rebuild_without_spans_all_survivors() {
+        // Every single-rank kill of the Figure-5 topology tree leaves a
+        // tree spanning exactly the survivors.
+        let shape = ClusterShape {
+            nodes: 3,
+            sockets_per_node: 2,
+            cores_per_socket: 4,
+            gpus_per_socket: 0,
+        };
+        let placement = Placement::block_cpu(shape, 24);
+        let t = topology_aware_tree(&placement, TopoTreeConfig::default());
+        for dead in 1..24u32 {
+            let r = t.rebuild_without(&[dead]).unwrap();
+            for rank in 0..24u32 {
+                if rank == dead {
+                    assert_eq!(r.parent(rank), None);
+                    assert!(r.children(rank).is_empty());
+                } else if rank != r.root() {
+                    let p = r.parent(rank).expect("survivor reachable");
+                    assert_ne!(p, dead, "no survivor may point at the dead rank");
+                    assert!(r.children(p).contains(&rank), "symmetry");
+                }
+                let _ = r.depth(rank); // cycle check
+            }
         }
     }
 

@@ -15,6 +15,7 @@
 //! | `fig8_quick_bcast_256_traced` | the same sweep with observability recording on |
 //! | `fig8_quick_bcast_256_streaming` | the sweep with the bounded-memory streaming recorder on |
 //! | `fig8_quick_bcast_inert_faults` | the sweep with an inert fault plan — the reliability layer's zero-overhead guard |
+//! | `fig8_quick_bcast_inert_kill` | the sweep with a past-completion kill plan — the failure detector's zero-overhead guard |
 //! | `fig8_quick_bcast_lossy1pct` | the sweep at 1% per-hop loss through the reliability layer |
 //!
 //! The repo's recorded trajectory lives in the barometer ledger
@@ -436,6 +437,12 @@ pub enum Fig8Mode {
     /// Inert fault plan attached — the reliability layer's zero-overhead
     /// guard (counters asserted bit-identical to an unfaulted run).
     InertFaults,
+    /// Kill plan whose instant lies beyond the run's completion — the
+    /// failure detector's zero-overhead guard: a kill-only plan arms no
+    /// reliability machinery (no ack traffic, no retransmit timers), so
+    /// the simulated schedule must be bit-identical to the plain run and
+    /// only the kill/detection counters may differ.
+    InertKill,
     /// Per-hop message loss at the given probability, with an 80 µs RTO.
     Lossy(f64),
 }
@@ -562,6 +569,16 @@ fn run_fig8_size(case: &CollectiveCase, mode: Fig8Mode) -> WorldStats {
             assert!(res.audit.is_clean(), "{}", res.audit);
             res.stats
         }
+        Fig8Mode::InertKill => {
+            let (world, programs) = world_for_case(case, NoiseScope::PerNode, 0.0, 1);
+            let plan = FaultPlan::lossy(1, 0.0).with_kill(
+                case.nranks - 1,
+                Time::ZERO + SimDuration::from_millis(10_000),
+            );
+            let res = world.with_faults(plan).run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            res.stats
+        }
         Fig8Mode::Lossy(p_loss) => {
             let (world, programs) = world_for_case(case, NoiseScope::PerNode, 0.0, 1);
             let plan = FaultPlan::lossy(1, p_loss).with_rto(SimDuration::from_micros(80));
@@ -590,6 +607,38 @@ pub fn bench_fig8_with(name: &str, p: &Fig8Params) -> PerfResult {
         library: Library::OmpiAdapt,
         msg_bytes,
     };
+    if p.mode == Fig8Mode::InertKill {
+        // A kill scheduled past the run's completion must not perturb the
+        // simulated schedule at all: kill-only plans keep the reliability
+        // layer off (no acks, no timers), so per-rank finish times and
+        // every counter except the kill/detection tallies are asserted
+        // bit-identical to the plain run before timing starts.
+        for &msg_bytes in sizes {
+            let case = mk_case(msg_bytes);
+            let (world, programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+            let plan = FaultPlan::lossy(1, 0.0).with_kill(
+                case.nranks - 1,
+                Time::ZERO + SimDuration::from_millis(10_000),
+            );
+            assert!(!plan.is_inert(), "a kill plan is not inert to the audit");
+            let res = world.with_faults(plan).run(programs);
+            let (plain_world, plain_programs) = world_for_case(&case, NoiseScope::PerNode, 0.0, 1);
+            let plain = plain_world.run(plain_programs);
+            assert_eq!(res.per_rank_finish, plain.per_rank_finish);
+            let mut masked = res.stats;
+            assert_eq!(masked.ranks_killed, 1);
+            assert_eq!(masked.failures_detected, 1);
+            masked.ranks_killed = 0;
+            masked.failures_detected = 0;
+            // The Kill and Detect events themselves are the only extras.
+            assert_eq!(masked.events, plain.stats.events + 2);
+            masked.events = plain.stats.events;
+            assert_eq!(
+                masked, plain.stats,
+                "a kill-only plan must add zero reliability overhead"
+            );
+        }
+    }
     if p.mode == Fig8Mode::InertFaults {
         // The bit-identical guarantee, checked once outside the timed
         // loop so the recorded wall clock measures only the inert-faulted

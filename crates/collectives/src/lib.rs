@@ -57,7 +57,7 @@ pub use exchange::{
 pub use hier::{HierBcastSpec, HierLevels, HierProgram, HierReduceSpec, PhasedProgram};
 pub use runner::{
     noise_for_case, record_once, run_intervened, run_once, run_once_faulted, run_once_scoped,
-    run_trial, world_for_case, CollectiveCase, IntelAlg, Library, NoiseScope, OpKind, Trial,
-    TrialResult,
+    run_trial, try_run_once_faulted, world_for_case, CollectiveCase, IntelAlg, Library, NoiseScope,
+    OpKind, Trial, TrialResult,
 };
 pub use waitall::{WaitallBcastSpec, WaitallReduceSpec};

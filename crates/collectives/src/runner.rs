@@ -577,8 +577,38 @@ pub fn run_once_faulted(
     seed: u64,
     plan: FaultPlan,
 ) -> RunResult {
+    match try_run_once_faulted(case, scope, noise_percent, seed, plan, 1) {
+        Ok(res) => res,
+        Err(e) => panic!(
+            "{} {:?} {}B (faulted): {e}",
+            case.library.label(),
+            case.op,
+            case.msg_bytes
+        ),
+    }
+}
+
+/// Fallible variant of [`run_once_faulted`] for schedules that may not be
+/// survivable — rank/node kills in particular. A completed run still has
+/// its audit asserted clean (under kills that means *every byte between
+/// live ranks delivered exactly once, dead ranks' bytes accounted in the
+/// failed columns*); an unsurvivable schedule comes back as the
+/// structured [`RunError`](adapt_mpi::RunError) instead of a panic or a
+/// hang. `threads` selects the sharded core (1 = single-queue); results
+/// are byte-identical across thread counts.
+pub fn try_run_once_faulted(
+    case: &CollectiveCase,
+    scope: NoiseScope,
+    noise_percent: f64,
+    seed: u64,
+    plan: FaultPlan,
+    threads: usize,
+) -> Result<RunResult, Box<adapt_mpi::RunError>> {
     let (world, programs) = world_for_case(case, scope, noise_percent, seed);
-    let res = world.with_faults(plan).run(programs);
+    let res = world
+        .with_threads(threads)
+        .with_faults(plan)
+        .try_run(programs)?;
     assert!(
         res.audit.is_clean(),
         "{} {:?} {}B (faulted): {}",
@@ -587,7 +617,7 @@ pub fn run_once_faulted(
         case.msg_bytes,
         res.audit
     );
-    res
+    Ok(res)
 }
 
 /// Run one iteration with a [`MemRecorder`](adapt_obs::MemRecorder)

@@ -30,5 +30,6 @@ pub use datatype::{bytes_to_f64, combine, f64_to_bytes, DType, ReduceOp};
 pub use payload::Payload;
 pub use program::{Completion, Op, ProgramCtx, RankProgram, Tag, Token};
 pub use world::{
-    trace_to_csv, RunResult, StallDiagnosis, TraceEvent, TraceKind, World, WorldStats,
+    trace_to_csv, FailureDiagnosis, RunError, RunResult, StallDiagnosis, TraceEvent, TraceKind,
+    World, WorldStats,
 };

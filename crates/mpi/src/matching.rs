@@ -168,6 +168,29 @@ impl PostedQueue {
         Some(pr)
     }
 
+    /// Cancel every posted receive naming `src` (ULFM-style revocation
+    /// when `src` is agreed dead: those matches can never arrive).
+    /// Returns how many receives were cancelled. Wildcard-source receives
+    /// are untouched — they can still match a live sender.
+    pub fn remove_src(&mut self, src: Rank) -> usize {
+        let mut removed = 0;
+        self.exact.retain(|&(s, _), q| {
+            if s == src {
+                removed += q.len();
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(q) = self.wild.remove(&src) {
+            removed += q.len();
+        }
+        self.len -= removed;
+        #[cfg(debug_assertions)]
+        self.shadow.retain(|p| p.src != src);
+        removed
+    }
+
     /// All posted receives as `(src, tag)` pairs (deadlock diagnostics).
     pub fn entries(&self) -> Vec<(Rank, Tag)> {
         let mut all: Vec<(u64, Rank, Tag)> = self
@@ -325,6 +348,29 @@ mod tests {
             mem: MemSpace::Host { node: 0, socket: 0 },
             posted_at: Time::ZERO,
         }
+    }
+
+    #[test]
+    fn remove_src_cancels_exact_and_wildcard_tags_only_for_the_dead() {
+        // Mixed queue: exact-tag and ANY_TAG receives on the dead source,
+        // plus a live source's receives that must survive untouched.
+        let mut q = PostedQueue::default();
+        q.push(pr(3, 7, 0)); // dead src, exact tag
+        q.push(pr(3, 8, 1)); // dead src, another exact tag
+        q.push(pr(3, crate::program::ANY_TAG, 2)); // dead src, wildcard tag
+        q.push(pr(5, 7, 3)); // live src
+        q.push(pr(5, crate::program::ANY_TAG, 4)); // live src, wildcard tag
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.remove_src(3), 3, "all three rank-3 receives cancel");
+        assert_eq!(q.len(), 2);
+        // The dead source's matches are gone; the live source still works.
+        assert!(q.match_arrival(3, 7).0.is_none());
+        assert!(q.match_arrival(3, 9).0.is_none());
+        assert_eq!(q.match_arrival(5, 7).0.unwrap().token, Token(3));
+        assert_eq!(q.match_arrival(5, 9).0.unwrap().token, Token(4));
+        assert_eq!(q.len(), 0);
+        // Idempotent on an empty/absent source.
+        assert_eq!(q.remove_src(3), 0);
     }
 
     #[test]

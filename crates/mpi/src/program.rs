@@ -185,6 +185,27 @@ pub trait RankProgram: std::any::Any {
 
     /// Called on every completion of an operation this program posted.
     fn on_completion(&mut self, ctx: &mut dyn ProgramCtx, completion: Completion);
+
+    /// Called once per newly detected failed rank, after the runtime's
+    /// failure detector converged on it (ULFM-style revoke notification).
+    /// `dead` is the *cumulative* agreed failed set, most recent last.
+    /// `active` is the snapshot of survivors still running at the
+    /// detection instant, taken once and handed to *every* survivor's
+    /// callback in the same batch: both sides of a repaired edge (a new
+    /// parent and an adopted child, say) decide from identical
+    /// information, so a recovery protocol can commit traffic knowing
+    /// the peer made the matching commitment. Never send to a rank
+    /// outside `active` — it has already finished and will not consume.
+    ///
+    /// The default ignores the notification: a program that never posts
+    /// to or waits on the dead rank completes untouched, and one that
+    /// does will be diagnosed by the runtime as a structured failure
+    /// (never a panic). Fault-aware collectives override this to rebuild
+    /// their communication structure around the dead rank and complete
+    /// among survivors.
+    fn on_peer_failed(&mut self, ctx: &mut dyn ProgramCtx, dead: &[Rank], active: &[Rank]) {
+        let _ = (ctx, dead, active);
+    }
 }
 
 /// What a program may do and observe while handling an event. Implemented

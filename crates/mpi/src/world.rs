@@ -153,6 +153,15 @@ enum Ev {
         cap: f64,
         lat: f64,
     },
+    /// The fault plan kills this rank permanently at the event's time.
+    Kill {
+        rank: Rank,
+    },
+    /// The heartbeat failure detector declares this rank dead: survivors
+    /// converge on the new failed set and are notified.
+    Detect {
+        rank: Rank,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -222,12 +231,40 @@ struct FaultState {
     stalls: Vec<Option<Schedule>>,
     /// Payload bytes injected by retransmissions (audit ledger column).
     retrans_bytes: u64,
+    /// Per-rank kill instants (`None` = alive). Ground truth of the
+    /// failure model; survivors only learn of a death via `detected_at`.
+    dead_at: Vec<Option<Time>>,
+    /// Cached "some rank has died": the hot paths pay one boolean test
+    /// until the first kill actually fires.
+    any_dead: bool,
+    /// Per-rank detection instants: when the heartbeat failure detector
+    /// converged survivors on the rank being dead.
+    detected_at: Vec<Option<Time>>,
+    /// The agreed failed set in detection order — exactly the slice
+    /// `on_peer_failed` hands to survivor programs.
+    failed_order: Vec<Rank>,
+    /// Whether the ack/retransmit machinery is armed. Any plan that was
+    /// expressible before kills existed (loss, outages, stalls,
+    /// degradation) keeps it on, preserving those runs bit-for-bit;
+    /// kill-only plans leave it off — a dead peer is detected, not
+    /// retransmitted to — so an inert kill plan costs ~nothing.
+    rel_active: bool,
+    /// The plan can kill ranks (cheap gate for the kill bookkeeping).
+    kills_enabled: bool,
+    /// Payload flows (eager or rendezvous data) actually injected into
+    /// the network, tracked only when kills are enabled: the audit uses
+    /// it to split failed bytes into launched and never-launched.
+    data_injected: FxHashSet<MsgId>,
+    /// Sends completed (SendDone) by the failure detector because their
+    /// receiver died before the payload launched — a CTS already in
+    /// flight at detection time must not start the data after all.
+    send_failed: FxHashSet<MsgId>,
 }
 
 impl FaultState {
     fn new(plan: FaultPlan, nranks: u32) -> FaultState {
         let rng = MasterSeed(plan.seed).rng(StreamTag::Faults, 0);
-        let stalls = (0..nranks)
+        let stalls: Vec<Option<Schedule>> = (0..nranks)
             .map(|r| {
                 let s = plan.stalls_for(r);
                 if s.is_empty() {
@@ -237,6 +274,11 @@ impl FaultState {
                 }
             })
             .collect();
+        let rel_active = plan.loss > 0.0
+            || !plan.down.is_empty()
+            || !plan.degrade.is_empty()
+            || !plan.stalls.is_empty();
+        let kills_enabled = !plan.kills.is_empty() || !plan.node_kills.is_empty();
         FaultState {
             plan,
             rng,
@@ -245,7 +287,34 @@ impl FaultState {
             done_fired: FxHashSet::default(),
             stalls,
             retrans_bytes: 0,
+            dead_at: vec![None; nranks as usize],
+            any_dead: false,
+            detected_at: vec![None; nranks as usize],
+            failed_order: Vec::new(),
+            rel_active,
+            kills_enabled,
+            data_injected: FxHashSet::default(),
+            send_failed: FxHashSet::default(),
         }
+    }
+
+    /// Heartbeat-detector latency: a rank is declared dead after
+    /// `max_retries + 1` silent heartbeat periods of length `rto` — the
+    /// same budget the reliability layer grants a lossy lane, so tuning
+    /// the RTO moves detection latency linearly.
+    fn detect_delay(&self) -> Duration {
+        Duration::from_nanos(
+            self.plan
+                .rel
+                .rto
+                .as_nanos()
+                .saturating_mul(self.plan.rel.max_retries as u64 + 1),
+        )
+    }
+
+    /// Is either endpoint of the pair dead?
+    fn endpoint_dead(&self, a: Rank, b: Rank) -> bool {
+        self.dead_at[a as usize].is_some() || self.dead_at[b as usize].is_some()
     }
 }
 
@@ -275,6 +344,104 @@ impl std::fmt::Display for StallDiagnosis {
         f.write_str(&self.detail)
     }
 }
+
+/// Per-rank post-mortem for a run abandoned because of rank failures.
+#[derive(Debug)]
+pub struct FailureDiagnosis {
+    /// Simulated instant at which the run was abandoned.
+    pub at: Time,
+    /// The failed set: every killed rank, detection order first, then
+    /// killed-but-not-yet-detected ranks by id.
+    pub failed: Vec<Rank>,
+    /// Detection instants for the subset the failure detector agreed on.
+    pub detected_at: Vec<(Rank, Time)>,
+    /// Surviving ranks that had not finished.
+    pub stuck: Vec<Rank>,
+    /// Human-readable report (what [`std::fmt::Display`] prints).
+    pub detail: String,
+    /// Flight-recorder tail, when the attached recorder keeps one.
+    pub flight: Option<String>,
+}
+
+impl std::fmt::Display for FailureDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+/// Why a run could not complete: returned by [`World::try_run`] instead
+/// of panicking. Every variant carries a human-readable `detail` (what
+/// `Display` prints) and the flight-recorder tail when the attached
+/// recorder keeps one, so no failure mode escapes without a post-mortem.
+#[derive(Debug)]
+pub enum RunError {
+    /// The run stopped making progress with no rank failure to blame:
+    /// the event queue ran dry or the progress watchdog fired.
+    Stalled(StallDiagnosis),
+    /// A reliable transfer lane between two *live* ranks exhausted its
+    /// retry budget: the loss/outage schedule is not survivable.
+    RetryBudgetExhausted {
+        /// The lane's owning (sending) rank.
+        rank: Rank,
+        /// The lane's remote endpoint.
+        peer: Rank,
+        /// The message the lane belongs to.
+        msg: u64,
+        /// Protocol lane within the message (0 = RTS, 1 = CTS, 2 = data).
+        lane: u32,
+        /// Retransmissions performed before giving up.
+        attempts: u32,
+        /// Simulated instant of the final expiry.
+        at: Time,
+        /// Human-readable report (what `Display` prints).
+        detail: String,
+        /// Flight-recorder tail, when the attached recorder keeps one.
+        flight: Option<String>,
+    },
+    /// Ranks were killed and the survivors could not complete around
+    /// them; the diagnosis names the agreed failed set per rank.
+    RanksFailed(FailureDiagnosis),
+}
+
+impl RunError {
+    /// The flight-recorder tail attached to the error, if any.
+    pub fn flight(&self) -> Option<&str> {
+        match self {
+            RunError::Stalled(d) => d.flight.as_deref(),
+            RunError::RetryBudgetExhausted { flight, .. } => flight.as_deref(),
+            RunError::RanksFailed(d) => d.flight.as_deref(),
+        }
+    }
+
+    /// Ranks that had not finished when the run was abandoned.
+    pub fn stuck(&self) -> &[Rank] {
+        match self {
+            RunError::Stalled(d) => &d.stuck,
+            RunError::RetryBudgetExhausted { .. } => &[],
+            RunError::RanksFailed(d) => &d.stuck,
+        }
+    }
+
+    fn set_flight(&mut self, dump: Option<String>) {
+        match self {
+            RunError::Stalled(d) => d.flight = dump,
+            RunError::RetryBudgetExhausted { flight, .. } => *flight = dump,
+            RunError::RanksFailed(d) => d.flight = dump,
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Stalled(d) => d.fmt(f),
+            RunError::RetryBudgetExhausted { detail, .. } => f.write_str(detail),
+            RunError::RanksFailed(d) => d.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// One recorded runtime event (tracing enabled via
 /// [`World::enable_trace`]).
@@ -421,6 +588,11 @@ world_stats! {
     /// traffic relative to `events` means the shard boundary cuts through
     /// chatty state.
     cross_shard_events,
+    /// Ranks killed by the fault plan (the failure model's ground truth).
+    ranks_killed,
+    /// Rank failures the heartbeat detector converged on and announced
+    /// to survivors.
+    failures_detected,
 }
 
 /// Outcome of a completed simulation.
@@ -626,6 +798,9 @@ pub struct World {
     /// Fault-injection and reliability layer (`None` = pristine network,
     /// zero-cost transport exactly as before the layer existed).
     faults: Option<Box<FaultState>>,
+    /// A fatal condition raised inside an event handler (handlers cannot
+    /// return errors); the main loop checks it after every event.
+    run_error: Option<RunError>,
     /// Progress-watchdog horizon: a gap of simulated time between
     /// consecutive events larger than this, while ranks are unfinished,
     /// aborts the run with a [`StallDiagnosis`].
@@ -674,6 +849,7 @@ impl World {
             async_progress: false,
             trace: None,
             faults: None,
+            run_error: None,
             watchdog: None,
             obs: AnyRecorder::Null(NullRecorder),
             obs_on: false,
@@ -783,7 +959,12 @@ impl World {
             lookahead,
             move |ev: &Ev| match ev {
                 Ev::Rank { rank, .. } => node_of[*rank as usize],
-                Ev::Net(_) | Ev::Launch { .. } | Ev::Timer { .. } | Ev::FaultCmd { .. } => 0,
+                Ev::Net(_)
+                | Ev::Launch { .. }
+                | Ev::Timer { .. }
+                | Ev::FaultCmd { .. }
+                | Ev::Kill { .. }
+                | Ev::Detect { .. } => 0,
             },
         ));
         self
@@ -834,10 +1015,11 @@ impl World {
     }
 
     /// Run the given per-rank programs to completion (every rank must
-    /// eventually call `finish`). Panics on deadlock — a queue that runs
-    /// dry with unfinished ranks indicates a broken algorithm, which tests
-    /// want loudly. Use [`World::try_run`] to get the diagnosis as a
-    /// value instead.
+    /// eventually call `finish`). Panics on any [`RunError`] — a deadlock
+    /// or unsurvivable fault schedule indicates a broken algorithm or
+    /// test setup, which tests want loudly. Fault-tolerant callers (the
+    /// CLI, the collectives runner, chaos suites) use [`World::try_run`]
+    /// to get the diagnosis as a value instead.
     pub fn run(self, programs: Vec<Box<dyn RankProgram>>) -> RunResult {
         match self.try_run(programs) {
             Ok(r) => r,
@@ -845,13 +1027,15 @@ impl World {
         }
     }
 
-    /// Like [`World::run`], but a stalled run (dry queue with unfinished
-    /// ranks, or a watchdog-horizon expiry) returns a [`StallDiagnosis`]
-    /// instead of panicking.
+    /// Like [`World::run`], but a run that cannot complete — deadlock,
+    /// watchdog expiry, retry-budget exhaustion between live ranks, or
+    /// rank failures the survivors could not absorb — returns a typed
+    /// [`RunError`] instead of panicking. No fault plan can panic this
+    /// path.
     pub fn try_run(
         mut self,
         programs: Vec<Box<dyn RankProgram>>,
-    ) -> Result<RunResult, Box<StallDiagnosis>> {
+    ) -> Result<RunResult, Box<RunError>> {
         assert_eq!(
             programs.len(),
             self.nranks() as usize,
@@ -895,6 +1079,34 @@ impl World {
             }
         }
 
+        // Kills become events; node kills expand against the placement.
+        // Out-of-range ranks and nodes are ignored (a plan is written
+        // independently of any particular job size).
+        let kills: Vec<(Time, Rank)> = match &self.faults {
+            Some(fs) if fs.kills_enabled => {
+                let mut kills: Vec<(Time, Rank)> = fs
+                    .plan
+                    .kills
+                    .iter()
+                    .filter(|&&(r, _)| r < self.placement.len())
+                    .map(|&(r, at)| (at, r))
+                    .collect();
+                for &(node, at) in &fs.plan.node_kills {
+                    for r in 0..self.placement.len() {
+                        if self.placement.location(r).node == node {
+                            kills.push((at, r));
+                        }
+                    }
+                }
+                kills.sort_unstable();
+                kills
+            }
+            _ => Vec::new(),
+        };
+        for (at, rank) in kills {
+            self.queue.schedule_untracked(at, Ev::Kill { rank });
+        }
+
         if self.obs_on {
             let labels = self
                 .net
@@ -935,7 +1147,7 @@ impl World {
                 if self.finished < self.nranks() && t.saturating_since(prev_t) > h {
                     let mut diag = self.stall_diagnosis(prev_t, t, true);
                     diag.flight = self.obs.flight_dump();
-                    return Err(Box::new(diag));
+                    return Err(self.classify(diag));
                 }
             }
             prev_t = t;
@@ -953,6 +1165,12 @@ impl World {
                     let mut sched = QueueSched(&mut self.queue);
                     self.net.scale_link(t, link, cap, lat, &mut sched);
                 }
+                Ev::Kill { rank } => self.on_kill(t, rank),
+                Ev::Detect { rank } => self.on_detect(t, rank),
+            }
+            if let Some(mut e) = self.run_error.take() {
+                e.set_flight(self.obs.flight_dump());
+                return Err(Box::new(e));
             }
             if self.finished == self.nranks() && self.faults.is_none() {
                 // With faults active the queue drains fully instead:
@@ -965,7 +1183,7 @@ impl World {
         if self.finished != self.nranks() {
             let mut diag = self.stall_diagnosis(prev_t, prev_t, false);
             diag.flight = self.obs.flight_dump();
-            return Err(Box::new(diag));
+            return Err(self.classify(diag));
         }
 
         let per_rank_finish: Vec<Time> = self
@@ -1144,9 +1362,181 @@ impl World {
         }
     }
 
+    /// Turn a stall into the right [`RunError`]: once any rank has been
+    /// killed, a run that cannot finish is a rank-failure outcome, not a
+    /// plain deadlock — the diagnosis names the agreed failed set and the
+    /// survivors still stuck on it.
+    fn classify(&self, mut diag: StallDiagnosis) -> Box<RunError> {
+        let err = match self.faults.as_deref() {
+            Some(fs) if fs.any_dead => {
+                let mut failed = fs.failed_order.clone();
+                for r in 0..self.nranks() {
+                    if fs.dead_at[r as usize].is_some() && !failed.contains(&r) {
+                        failed.push(r);
+                    }
+                }
+                let detected_at: Vec<(Rank, Time)> = fs
+                    .failed_order
+                    .iter()
+                    .map(|&r| {
+                        (
+                            r,
+                            fs.detected_at[r as usize].expect("detected rank has a time"),
+                        )
+                    })
+                    .collect();
+                let stuck = std::mem::take(&mut diag.stuck);
+                let detail = format!(
+                    "rank failure: {:?} killed ({} of them detected by t={}ns) and {} \
+                     survivor(s) could not complete around them\n{}",
+                    failed,
+                    detected_at.len(),
+                    diag.at.as_nanos(),
+                    stuck.len(),
+                    diag.detail
+                );
+                RunError::RanksFailed(FailureDiagnosis {
+                    at: diag.at,
+                    failed,
+                    detected_at,
+                    stuck,
+                    detail,
+                    flight: diag.flight.take(),
+                })
+            }
+            _ => RunError::Stalled(diag),
+        };
+        Box::new(err)
+    }
+
     // ------------------------------------------------------------------
     // Fault injection and the reliability layer
     // ------------------------------------------------------------------
+
+    /// A `kill=` / `killnode=` instant arrived: stop the rank's progress
+    /// engine permanently. Everything already addressed to it is dropped
+    /// by the stray-event path; flows launched to or from it after this
+    /// instant are doomed at launch. The heartbeat failure detector is
+    /// armed to converge survivors on the death one detection delay
+    /// later.
+    fn on_kill(&mut self, t: Time, rank: Rank) {
+        let fs = self.faults.as_mut().expect("kills imply a fault plan");
+        if fs.dead_at[rank as usize].is_some() {
+            return; // doubly killed (rank kill + node kill)
+        }
+        fs.dead_at[rank as usize] = Some(t);
+        fs.any_dead = true;
+        let detect_at = t + fs.detect_delay();
+        self.stats.ranks_killed += 1;
+        self.queue
+            .schedule_untracked(detect_at, Ev::Detect { rank });
+        let state = &mut self.ranks[rank as usize];
+        if state.finished_at.is_none() {
+            // The killed rank's clock stops here. Counting it as finished
+            // lets the survivors alone decide when the run is over; the
+            // audit accounts its unfinished operations via the failed
+            // columns instead of the per-rank completion checks.
+            state.finished_at = Some(t);
+            self.finished += 1;
+        }
+    }
+
+    /// The heartbeat detector's timeout for a killed rank expired: the
+    /// survivors now agree it is dead (ULFM-style revoke). Complete the
+    /// operations that can no longer progress, cancel receives naming the
+    /// dead source, and notify every unfinished survivor program.
+    fn on_detect(&mut self, t: Time, rank: Rank) {
+        let nranks = self.nranks();
+        let fs = self.faults.as_mut().expect("detect implies a fault plan");
+        if fs.detected_at[rank as usize].is_some() {
+            return;
+        }
+        fs.detected_at[rank as usize] = Some(t);
+        fs.failed_order.push(rank);
+        self.stats.failures_detected += 1;
+        // Pending rendezvous sends whose payload can never launch (the
+        // receiver died before answering CTS) complete now: the sender's
+        // buffer is reusable, exactly like ULFM completing the request
+        // with an error class instead of leaving it forever pending.
+        let mut to_complete: Vec<(MsgId, Rank, Token)> = Vec::new();
+        for (&m, msg) in &self.msgs {
+            if msg.dst == rank
+                && msg.payload.len() > self.spec.eager_limit
+                && fs.dead_at[msg.src as usize].is_none()
+                && !fs.data_injected.contains(&m)
+                && fs.send_failed.insert(m)
+            {
+                to_complete.push((m, msg.src, msg.send_token));
+            }
+        }
+        // Hash-map iteration order is capacity-history dependent; sorting
+        // by message id keeps the event schedule deterministic.
+        to_complete.sort_unstable_by_key(|&(m, _, _)| m);
+        for (m, src, token) in to_complete {
+            self.queue.schedule_untracked(
+                t,
+                Ev::Rank {
+                    rank: src,
+                    item: RankItem::Deliver {
+                        c: Completion::SendDone { token },
+                        msg: m,
+                    },
+                },
+            );
+        }
+        // Cancel survivors' posted receives naming the dead source so
+        // they can re-post around it; the matches they were waiting for
+        // will never arrive. (Cancelled receives look like the M > N
+        // rule's legitimate over-posting to the audit.)
+        for r in 0..nranks {
+            if r != rank && self.ranks[r as usize].finished_at.is_none() {
+                self.ranks[r as usize].posted.remove_src(rank);
+            }
+        }
+        // Revoke notifications run *synchronously*, all against the same
+        // snapshot of who is dead and who is still running. Handlers on
+        // both sides of a repaired edge (a new parent and an adopted
+        // child, say) therefore decide from identical information — a
+        // rank that finishes inside this batch was already excluded from
+        // `active`, so no survivor commits traffic to a rank that will
+        // never consume it.
+        let dead: Vec<Rank> = self
+            .faults
+            .as_ref()
+            .expect("detect implies a fault plan")
+            .failed_order
+            .clone();
+        let active: Vec<Rank> = (0..nranks)
+            .filter(|&r| self.ranks[r as usize].finished_at.is_none())
+            .collect();
+        for &r in &active {
+            self.run_failure_handler(r, t, &dead, &active);
+        }
+    }
+
+    /// Deliver the revoke notification to one survivor's program: calls
+    /// [`RankProgram::on_peer_failed`] with the agreed failed set and the
+    /// snapshot of still-active survivors, then applies whatever recovery
+    /// operations it posts.
+    fn run_failure_handler(&mut self, rank: Rank, t: Time, dead: &[Rank], active: &[Rank]) {
+        let mut prog = self.programs[rank as usize]
+            .take()
+            .expect("program present");
+        let ops = {
+            let mut sink = OpSink {
+                rank,
+                nranks: self.nranks(),
+                now: t,
+                placement: &self.placement,
+                spec: &self.spec,
+                ops: Vec::new(),
+            };
+            prog.on_peer_failed(&mut sink, dead, active);
+            sink.ops
+        };
+        self.programs[rank as usize] = Some(prog);
+        self.apply_ops(rank, t, PROGRESS_OVERHEAD, ops, None);
+    }
 
     /// Start the flow an `Ev::Launch` describes. With a fault plan
     /// attached this is also where losses are injected (the launch draws
@@ -1171,6 +1561,33 @@ impl World {
                     doomed = fs.rng.random::<f64>() < p;
                 }
                 doomed |= fs.plan.down.active_at(t);
+            }
+            if fs.kills_enabled {
+                // Payload launches are tracked so the audit can tell
+                // "launched then dropped at the dead host" apart from
+                // "never launched at all" (a rendezvous whose CTS the
+                // dead receiver never sent).
+                if let FlowKind::EagerData(m) | FlowKind::RndvData(m) = kind {
+                    fs.data_injected.insert(m);
+                }
+                // A killed host neither sources nor sinks traffic: any
+                // protocol flow touching it is doomed — it still spends
+                // bandwidth (the packets left the live side) and then
+                // drains as dropped. The live sender still observes the
+                // drain, so its buffer is released as usual.
+                if fs.any_dead {
+                    doomed |= match kind {
+                        FlowKind::Rts(m)
+                        | FlowKind::Cts(m)
+                        | FlowKind::EagerData(m)
+                        | FlowKind::RndvData(m) => self
+                            .msgs
+                            .get(&m)
+                            .is_some_and(|msg| fs.endpoint_dead(msg.src, msg.dst)),
+                        FlowKind::Ack { from, .. } => fs.dead_at[from as usize].is_some(),
+                        FlowKind::Copy { .. } => false,
+                    };
+                }
             }
         }
         if doomed {
@@ -1219,7 +1636,11 @@ impl World {
                 &self.links_scratch,
             );
         }
-        if self.faults.is_some() {
+        // Retransmit lanes exist only when the plan injects transport
+        // faults (loss, link-down, degradation or stalls). A kill-only
+        // plan leaves the reliability machinery off entirely: no timers,
+        // no acks, and therefore no overhead relative to a pristine run.
+        if self.faults.as_deref().is_some_and(|f| f.rel_active) {
             if let Some(key) = xfer_key(kind) {
                 self.arm_timer(t, key, kind, path, bytes);
             }
@@ -1285,6 +1706,12 @@ impl World {
 
     /// A retransmit timer fired: if the lane is still un-acked, relaunch
     /// it (which re-arms the timer with a doubled backoff).
+    ///
+    /// A lane whose message touches a killed rank is *retired* instead —
+    /// retransmitting into a dead host forever would be a storm, and
+    /// giving up on it is not an error: the failure detector owns that
+    /// outcome. A live↔live lane that exhausts its retry budget raises a
+    /// structured [`RunError::RetryBudgetExhausted`]; it never panics.
     fn on_timer(&mut self, t: Time, key: XferKey) {
         let Some(fs) = self.faults.as_mut() else {
             return;
@@ -1293,16 +1720,47 @@ impl World {
             return; // acked while the timer was in flight
         };
         x.attempt += 1;
-        if x.attempt > fs.plan.rel.max_retries {
-            panic!(
-                "reliability: msg {} lane {} exhausted its retry budget \
-                 ({} retransmissions) — the fault schedule is not survivable",
-                key >> 2,
-                key & 3,
-                fs.plan.rel.max_retries
-            );
-        }
+        let owner = x.owner;
+        let attempt = x.attempt;
         let (kind, path, bytes) = (x.kind, x.path, x.bytes);
+        let m = key >> 2;
+        if fs.any_dead {
+            let dead = self
+                .msgs
+                .get(&m)
+                .map(|msg| fs.endpoint_dead(msg.src, msg.dst))
+                .unwrap_or_else(|| fs.dead_at[owner as usize].is_some());
+            if dead {
+                fs.xfers.remove(&key);
+                return;
+            }
+        }
+        if attempt > fs.plan.rel.max_retries {
+            let max_retries = fs.plan.rel.max_retries;
+            let lane = (key & 3) as u32;
+            let peer = self
+                .msgs
+                .get(&m)
+                .map(|msg| if msg.src == owner { msg.dst } else { msg.src })
+                .unwrap_or(owner);
+            let detail = format!(
+                "reliability: msg {m} lane {lane} exhausted its retry budget \
+                 ({max_retries} retransmissions) between live ranks {owner} \
+                 and {peer} — the fault schedule is not survivable"
+            );
+            fs.xfers.remove(&key);
+            self.run_error = Some(RunError::RetryBudgetExhausted {
+                rank: owner,
+                peer,
+                msg: m,
+                lane,
+                attempts: attempt,
+                at: t,
+                detail,
+                flight: None,
+            });
+            return;
+        }
         fs.retrans_bytes += bytes;
         self.stats.retransmits += 1;
         if self.obs_on {
@@ -1379,6 +1837,68 @@ impl World {
     /// Assemble the end-of-run invariant report (see
     /// [`adapt_sim::audit`] for what each check means).
     fn build_audit(&self) -> AuditReport {
+        // Triage end-of-run leftovers against the failed set: traffic
+        // addressed to or from a killed rank is accounted through the
+        // `failed_*` columns; everything between live ranks must still
+        // balance exactly as in a fault-free run.
+        let mut failed_ranks: Vec<Rank> = Vec::new();
+        let mut failed_bytes = 0u64;
+        let mut failed_unlaunched = 0u64;
+        let unclaimed_live;
+        let unexp_live;
+        match self.faults.as_deref() {
+            Some(fs) if fs.any_dead => {
+                for r in 0..self.nranks() {
+                    if fs.dead_at[r as usize].is_some() {
+                        failed_ranks.push(r);
+                    }
+                }
+                let mut unclaimed = 0u64;
+                for (&m, msg) in &self.msgs {
+                    if fs.endpoint_dead(msg.src, msg.dst) {
+                        failed_bytes += msg.payload.len();
+                        if !fs.data_injected.contains(&m) {
+                            failed_unlaunched += msg.payload.len();
+                        }
+                    } else {
+                        unclaimed += 1;
+                    }
+                }
+                unclaimed_live = unclaimed;
+                // Dead ranks keep whatever unexpected-queue state they had
+                // at the kill instant; live ranks may legitimately hold
+                // unmatched arrivals from (or addressed around) the dead.
+                let mut unexp = 0u64;
+                for (r, state) in self.ranks.iter().enumerate() {
+                    if fs.dead_at[r].is_some() {
+                        continue;
+                    }
+                    for id in state
+                        .unexp_eager
+                        .ids()
+                        .into_iter()
+                        .chain(state.unexp_rts.ids())
+                    {
+                        let live = self
+                            .msgs
+                            .get(&id)
+                            .is_none_or(|msg| !fs.endpoint_dead(msg.src, msg.dst));
+                        if live {
+                            unexp += 1;
+                        }
+                    }
+                }
+                unexp_live = unexp;
+            }
+            _ => {
+                unclaimed_live = self.msgs.len() as u64;
+                unexp_live = self
+                    .ranks
+                    .iter()
+                    .map(|r| (r.unexp_eager.len() + r.unexp_rts.len()) as u64)
+                    .sum();
+            }
+        }
         AuditReport {
             queue: self.queue.audit(),
             send_posted_bytes: self.byte_audit.send_posted,
@@ -1393,13 +1913,13 @@ impl World {
             stray_events: self.stats.stray_events,
             faults_active: self.faults.is_some(),
             per_rank: self.ranks.iter().map(|r| r.audit).collect(),
-            unclaimed_messages: self.msgs.len() as u64,
-            unexpected_leftovers: self
-                .ranks
-                .iter()
-                .map(|r| (r.unexp_eager.len() + r.unexp_rts.len()) as u64)
-                .sum(),
+            unclaimed_messages: unclaimed_live,
+            unexpected_leftovers: unexp_live,
             leftover_posted_recvs: self.ranks.iter().map(|r| r.posted.len() as u64).sum(),
+            failed_ranks,
+            failed_bytes,
+            failed_unlaunched_bytes: failed_unlaunched,
+            failed_copy_bytes: 0,
         }
     }
 
@@ -1463,8 +1983,10 @@ impl World {
                             // the sender's buffer is reusable once the
                             // reliability layer holds the payload, and a
                             // retransmit drain may postdate the message's
-                            // removal from the in-flight table.
-                            if !fs.done_fired.insert(m) {
+                            // removal from the in-flight table. Without
+                            // retransmits (kill-only plans) every payload
+                            // drains exactly once, so nothing to dedupe.
+                            if fs.rel_active && !fs.done_fired.insert(m) {
                                 return;
                             }
                         }
@@ -1494,7 +2016,9 @@ impl World {
                 let kind = self.flow_kinds[d.flow.0 as usize]
                     .take()
                     .expect("delivery of unknown flow");
-                if self.faults.is_some() && self.reliable_delivery(t, kind) {
+                if self.faults.as_deref().is_some_and(|f| f.rel_active)
+                    && self.reliable_delivery(t, kind)
+                {
                     // An ack, or a duplicate of an already-processed
                     // lane: consumed by the reliability layer.
                     if self.obs_on {
@@ -1564,6 +2088,31 @@ impl World {
 
     fn rank_step(&mut self, t: Time, rank: Rank, item: RankItem) {
         if self.ranks[rank as usize].finished_at.is_some() {
+            // A live rank that finished during failure recovery (its dead
+            // peers were masked out of the completion target) may still
+            // harvest SendDones for transfers addressed to the dead — a
+            // doomed payload's drain, or the detector completing a
+            // rendezvous that never got its CTS. The sender's buffer is
+            // reusable and the op ledger must balance, so count the
+            // completion; the program itself is done and is not re-entered.
+            if let RankItem::Deliver {
+                c: Completion::SendDone { .. },
+                msg,
+            } = &item
+            {
+                let to_dead = self.faults.as_deref().is_some_and(|f| {
+                    f.any_dead
+                        && f.dead_at[rank as usize].is_none()
+                        && self
+                            .msgs
+                            .get(msg)
+                            .is_some_and(|mm| f.endpoint_dead(mm.src, mm.dst))
+                });
+                if to_dead {
+                    self.ranks[rank as usize].audit.sends_completed += 1;
+                    return;
+                }
+            }
             // Stray events after finish are dropped — but counted, so the
             // audit can flag a leaked completion in a fault-free run.
             self.stats.stray_events += 1;
@@ -1667,6 +2216,17 @@ impl World {
             RankItem::Start => self.run_handler(rank, t, None, NO_MSG),
             RankItem::Deliver { c, msg } => self.run_handler(rank, t, Some(c), msg),
             RankItem::CtsArrived(m) => {
+                // A CTS still in flight while the failure detector
+                // completed this send (the receiver died) must not launch
+                // the data: the send already completed-in-error and the
+                // payload is accounted as failed-unlaunched.
+                if self
+                    .faults
+                    .as_deref()
+                    .is_some_and(|f| f.send_failed.contains(&m))
+                {
+                    return;
+                }
                 // Sender side: launch the data flow.
                 let (path, bytes) = {
                     let msg = &self.msgs[&m];

@@ -88,6 +88,21 @@ pub struct AuditReport {
     /// Posted receives that never matched a message. Informational only:
     /// the `M > N` pre-posting rule legitimately leaves these behind.
     pub leftover_posted_recvs: u64,
+    /// Ranks in the agreed failed set: killed by the fault plan, their
+    /// progress engines stopped permanently. The per-rank completion
+    /// checks skip them, and the byte equations account their traffic
+    /// through the `failed_*` columns below.
+    pub failed_ranks: Vec<u32>,
+    /// Payload bytes posted in sends that can never complete a receive
+    /// because one endpoint of the message failed. Byte conservation
+    /// generalizes to `send_posted == recv_completed + failed`.
+    pub failed_bytes: u64,
+    /// Subset of `failed_bytes` never injected into the network: the
+    /// protocol stopped before launching the data flow when an endpoint
+    /// died (e.g. a rendezvous whose CTS never came back).
+    pub failed_unlaunched_bytes: u64,
+    /// Copy bytes posted at a rank that died before the copy completed.
+    pub failed_copy_bytes: u64,
 }
 
 impl AuditReport {
@@ -107,26 +122,25 @@ impl AuditReport {
                 self.queue.reported_live, self.queue.actual_live, self.queue.heap_total
             ));
         }
-        if self.send_posted_bytes != self.recv_completed_bytes {
+        if self.send_posted_bytes != self.recv_completed_bytes + self.failed_bytes {
             out.push(format!(
-                "byte conservation: {} bytes posted in sends vs {} bytes completed in receives",
-                self.send_posted_bytes, self.recv_completed_bytes
+                "byte conservation: {} bytes posted in sends vs {} bytes completed in receives + {} failed",
+                self.send_posted_bytes, self.recv_completed_bytes, self.failed_bytes
             ));
         }
-        if self.copy_posted_bytes != self.copy_completed_bytes {
+        if self.copy_posted_bytes != self.copy_completed_bytes + self.failed_copy_bytes {
             out.push(format!(
-                "copy conservation: {} bytes posted vs {} bytes completed",
-                self.copy_posted_bytes, self.copy_completed_bytes
+                "copy conservation: {} bytes posted vs {} bytes completed + {} failed",
+                self.copy_posted_bytes, self.copy_completed_bytes, self.failed_copy_bytes
             ));
         }
-        if self.net_delivered_bytes + self.net_dropped_bytes
-            != self.send_posted_bytes + self.copy_posted_bytes + self.retrans_injected_bytes
-        {
+        let expected_carried =
+            (self.send_posted_bytes + self.copy_posted_bytes + self.retrans_injected_bytes)
+                .saturating_sub(self.failed_unlaunched_bytes);
+        if self.net_delivered_bytes + self.net_dropped_bytes != expected_carried {
             out.push(format!(
-                "network delivered {} + dropped {} bytes, expected sends + copies + retransmits = {}",
-                self.net_delivered_bytes,
-                self.net_dropped_bytes,
-                self.send_posted_bytes + self.copy_posted_bytes + self.retrans_injected_bytes
+                "network delivered {} + dropped {} bytes, expected sends + copies + retransmits - unlaunched = {}",
+                self.net_delivered_bytes, self.net_dropped_bytes, expected_carried
             ));
         }
         if self.net_injected_bytes != self.net_delivered_bytes + self.net_dropped_bytes {
@@ -148,6 +162,11 @@ impl AuditReport {
             ));
         }
         for (rank, r) in self.per_rank.iter().enumerate() {
+            if self.failed_ranks.contains(&(rank as u32)) {
+                // A killed rank legitimately leaves posted operations
+                // incomplete; its bytes are in the failed columns.
+                continue;
+            }
             if r.sends_posted != r.sends_completed {
                 out.push(format!(
                     "rank {rank}: {} send(s) posted but {} completed",
@@ -198,7 +217,17 @@ impl std::fmt::Display for AuditReport {
                 self.total_recvs_completed(),
                 self.send_posted_bytes,
                 self.leftover_posted_recvs
-            )
+            )?;
+            if !self.failed_ranks.is_empty() {
+                write!(
+                    f,
+                    "; {} failed rank(s) {:?}, {} bytes accounted to failures",
+                    self.failed_ranks.len(),
+                    self.failed_ranks,
+                    self.failed_bytes
+                )?;
+            }
+            Ok(())
         } else {
             writeln!(f, "audit found {} issue(s):", issues.len())?;
             for (i, issue) in issues.iter().enumerate() {
@@ -311,6 +340,45 @@ mod tests {
         // An unbalanced drop column is flagged.
         r.net_dropped_bytes = 20;
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn failed_rank_bytes_balance_the_ledger() {
+        // Rank 1 is killed: its one posted send (30 bytes) never
+        // completes, the bytes land in the failed column, and its
+        // unbalanced per-rank counters are excused.
+        let mut r = clean_report();
+        r.faults_active = true;
+        r.failed_ranks = vec![1];
+        r.per_rank[1].sends_completed = 0;
+        r.recv_completed_bytes = 70;
+        r.failed_bytes = 30;
+        r.net_delivered_bytes = 110;
+        r.net_dropped_bytes = 30;
+        r.net_injected_bytes = 140;
+        assert!(r.is_clean(), "{r}");
+        let shown = r.to_string();
+        assert!(shown.contains("1 failed rank(s)"), "{shown}");
+        // The same counters without the failed-set attribution are dirty.
+        r.failed_ranks.clear();
+        r.failed_bytes = 0;
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unlaunched_failed_bytes_excuse_the_network_ledger() {
+        // A rendezvous send whose peer died before CTS: 30 bytes posted,
+        // never injected into the network at all.
+        let mut r = clean_report();
+        r.faults_active = true;
+        r.failed_ranks = vec![0];
+        r.per_rank[0].sends_completed = 0;
+        r.recv_completed_bytes = 70;
+        r.failed_bytes = 30;
+        r.failed_unlaunched_bytes = 30;
+        r.net_injected_bytes = 110;
+        r.net_delivered_bytes = 110;
+        assert!(r.is_clean(), "{r}");
     }
 
     #[test]

@@ -22,6 +22,12 @@ use adapt::prelude::*;
 /// argument errors and panics.
 const EXIT_STALLED: i32 = 3;
 
+/// Exit code when ranks were killed (`kill=`/`killnode=`) and the
+/// survivors could not complete around them, or a live↔live transfer
+/// exhausted its retry budget: a structured failure outcome, distinct
+/// from both a plain deadlock ([`EXIT_STALLED`]) and argument errors.
+const EXIT_FAILED: i32 = 4;
+
 /// Every flag the CLI understands: `(name, value placeholder, help)`.
 /// An empty placeholder marks a boolean flag. The usage string is
 /// generated from this table, and [`arg`]/[`flag`] refuse names that are
@@ -97,7 +103,8 @@ scale-link=PAT:F|scale-layer=LAYER:F|speedup=LAYER:PCT); validated by re-run whe
     ),
     (
         "faults",
-        "loss=P,rto=DUR,retries=N,jitter=F,stall=R:S-E,down=S-E,degrade=F:S-E",
+        "loss=P,rto=DUR,retries=N,jitter=F,stall=R:S-E,down=S-E,degrade=F:S-E,\
+kill=R:T,killnode=N:T",
         "fault-injection plan",
     ),
     ("watchdog-horizon", "DUR", "abort if no progress for DUR"),
@@ -335,9 +342,12 @@ impl FaultArgs {
         self.plan.is_some() || self.watchdog.is_some()
     }
 
-    /// Attach the plan and watchdog, then run. A stall diagnosis goes to
-    /// stderr and exits with [`EXIT_STALLED`] — the one outcome where the
-    /// simulator's answer is "this schedule is not survivable".
+    /// Attach the plan and watchdog, then run. An unsurvivable schedule
+    /// never panics: a plain deadlock prints its diagnosis and exits with
+    /// [`EXIT_STALLED`]; killed ranks the survivors could not complete
+    /// around (or an exhausted live↔live retry budget) exit with
+    /// [`EXIT_FAILED`]. Either way the flight-recorder tail, when one was
+    /// kept, is dumped for the post-mortem.
     fn run(&self, mut world: World, programs: Vec<Box<dyn RankProgram>>) -> adapt::mpi::RunResult {
         if let Some(plan) = &self.plan {
             world = world.with_faults(plan.clone());
@@ -347,13 +357,18 @@ impl FaultArgs {
         }
         match world.try_run(programs) {
             Ok(res) => res,
-            Err(diag) => {
-                if let Some(frag) = &diag.flight {
+            Err(err) => {
+                if let Some(frag) = err.flight() {
                     std::fs::write(FLIGHT_DUMP_PATH, frag).expect("write flight dump");
                     eprintln!("flight recorder: last spans -> {FLIGHT_DUMP_PATH}");
                 }
-                eprintln!("{diag}");
-                std::process::exit(EXIT_STALLED);
+                eprintln!("{err}");
+                let code = match *err {
+                    adapt::mpi::RunError::Stalled(_) => EXIT_STALLED,
+                    adapt::mpi::RunError::RanksFailed(_)
+                    | adapt::mpi::RunError::RetryBudgetExhausted { .. } => EXIT_FAILED,
+                };
+                std::process::exit(code);
             }
         }
     }
@@ -365,8 +380,15 @@ impl FaultArgs {
         }
         let s = &res.stats;
         println!(
-            "  recovery: drops={} retransmits={} acks={} dups={} backoff={}ns",
-            s.drops_injected, s.retransmits, s.acks, s.duplicates_suppressed, s.backoff_time
+            "  recovery: drops={} retransmits={} acks={} dups={} backoff={}ns \
+             killed={} detected={}",
+            s.drops_injected,
+            s.retransmits,
+            s.acks,
+            s.duplicates_suppressed,
+            s.backoff_time,
+            s.ranks_killed,
+            s.failures_detected
         );
     }
 }

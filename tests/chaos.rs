@@ -369,8 +369,12 @@ fn watchdog_diagnoses_a_guaranteed_stall() {
         Err(e) => e,
         Ok(_) => panic!("an hour-long stall must trip a 1ms watchdog"),
     };
-    assert!(err.watchdog_fired, "horizon breach, not a dry queue");
-    assert!(err.stuck.contains(&2), "rank 2 is the stalled rank: {err}");
+    let diag = match err.as_ref() {
+        adapt::mpi::RunError::Stalled(d) => d,
+        other => panic!("a stall without kills must classify as Stalled: {other}"),
+    };
+    assert!(diag.watchdog_fired, "horizon breach, not a dry queue");
+    assert!(diag.stuck.contains(&2), "rank 2 is the stalled rank: {err}");
     let text = err.to_string();
     assert!(
         text.contains("deadlock"),
@@ -380,6 +384,232 @@ fn watchdog_diagnoses_a_guaranteed_stall() {
         text.contains("stalled=true"),
         "diagnosis must flag the stall: {text}"
     );
+}
+
+/// Assert every *surviving* rank assembled exactly `data` (dead ranks
+/// hold whatever partial state they had at the kill instant).
+fn assert_bytes_survivors(res: adapt::mpi::RunResult, data: &[u8], dead: &[u32]) {
+    assert!(res.audit.is_clean(), "{}", res.audit);
+    assert_eq!(res.audit.failed_ranks, dead, "audit must name the dead");
+    for (r, p) in res.programs.into_iter().enumerate() {
+        if dead.contains(&(r as u32)) {
+            continue;
+        }
+        let any: Box<dyn std::any::Any> = p;
+        let b = any.downcast::<adapt::core::AdaptBcast>().unwrap();
+        assert_eq!(
+            b.assembled().unwrap(),
+            data,
+            "surviving rank {r} must still assemble the full broadcast"
+        );
+    }
+}
+
+/// The chaos workload's broadcast tree (for picking interior victims).
+fn chaos_tree() -> Tree {
+    let machine = profiles::minicluster(2, 2, 4);
+    let placement = Placement::block_cpu(machine.shape, 16);
+    topology_aware_tree(&placement, TopoTreeConfig::default())
+}
+
+#[test]
+fn killed_interior_rank_is_survivable() {
+    // Kill a rank that has children early in the broadcast, with an RTO
+    // tight enough that the detector converges while the victim's parent
+    // is still inside the operation: the tree is rebuilt around the hole,
+    // the adopting parent resends from segment 0, and every survivor
+    // assembles the full payload. (Detection converging only *after* the
+    // adopter finished is the honest-failure case covered by
+    // `killed_root_is_a_structured_failure_not_a_panic`.)
+    let data = payload(200_000);
+    let tree = chaos_tree();
+    let victim = (1u32..16)
+        .find(|&r| !tree.children(r).is_empty())
+        .expect("the 16-rank topo tree has an interior non-root rank");
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(1, 0.0)
+        .with_kill(victim, t_us(5))
+        .with_rto(Duration::from_micros(5));
+    let res = world
+        .with_faults(plan)
+        .try_run(programs)
+        .unwrap_or_else(|e| panic!("an interior kill must be survivable: {e}"));
+    assert_eq!(res.stats.ranks_killed, 1);
+    assert_eq!(res.stats.failures_detected, 1);
+    assert_bytes_survivors(res, &data, &[victim]);
+}
+
+#[test]
+fn killed_leaf_never_blocks_the_others() {
+    let data = payload(150_000);
+    let tree = chaos_tree();
+    let victim = (1u32..16)
+        .find(|&r| tree.children(r).is_empty())
+        .expect("the tree has leaves");
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(1, 0.0).with_kill(victim, t_us(20));
+    let res = world
+        .with_faults(plan)
+        .try_run(programs)
+        .unwrap_or_else(|e| panic!("a leaf kill must be survivable: {e}"));
+    assert_bytes_survivors(res, &data, &[victim]);
+}
+
+#[test]
+fn killed_root_is_a_structured_failure_not_a_panic() {
+    // The data source dying is not survivable — the run must end with a
+    // diagnosis naming rank 0, never a panic and never a hang.
+    let data = payload(150_000);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(1, 0.0).with_kill(0, t_us(10));
+    let err = match world
+        .with_faults(plan)
+        .with_watchdog(Duration::from_millis(50))
+        .try_run(programs)
+    {
+        Err(e) => e,
+        Ok(_) => panic!("a dead broadcast root cannot complete"),
+    };
+    let adapt::mpi::RunError::RanksFailed(diag) = err.as_ref() else {
+        panic!("a kill-induced stall must classify as RanksFailed: {err}");
+    };
+    assert_eq!(diag.failed, vec![0], "the diagnosis must name the root");
+    assert!(
+        !diag.stuck.is_empty(),
+        "survivors waiting on the dead root are stuck"
+    );
+    let text = err.to_string();
+    assert!(text.contains("rank failure"), "{text}");
+}
+
+#[test]
+fn killed_node_is_survivable_when_the_root_lives() {
+    // Node 1 (ranks 8..16 on the 2x2x4 minicluster) dies wholesale; the
+    // root's node survives and completes among its own eight ranks.
+    let data = payload(200_000);
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(1, 0.0).with_node_kill(1, t_us(30));
+    let res = world
+        .with_faults(plan)
+        .try_run(programs)
+        .unwrap_or_else(|e| panic!("losing the non-root node must be survivable: {e}"));
+    let dead: Vec<u32> = (8..16).collect();
+    assert_eq!(res.stats.ranks_killed, 8);
+    assert_eq!(res.stats.failures_detected, 8);
+    assert_bytes_survivors(res, &data, &dead);
+}
+
+#[test]
+fn kill_recovery_is_byte_identical_across_thread_counts() {
+    // The failure detector, revoke snapshot, and recovery resends all ride
+    // the deterministic event queue: a kill schedule must produce the same
+    // per-rank finish times and counters at any shard parallelism.
+    let data = payload(200_000);
+    let tree = chaos_tree();
+    let victim = (1u32..16).find(|&r| !tree.children(r).is_empty()).unwrap();
+    let run = |threads: usize| {
+        let (world, programs) = bcast_world(&data);
+        let plan = FaultPlan::lossy(3, 0.01)
+            .with_kill(victim, t_us(5))
+            .with_rto(Duration::from_micros(5));
+        world
+            .with_threads(threads)
+            .with_faults(plan)
+            .try_run(programs)
+            .unwrap_or_else(|e| panic!("{threads} threads: {e}"))
+    };
+    let base = run(1);
+    for threads in [2, 4, 8] {
+        let res = run(threads);
+        assert_eq!(
+            base.per_rank_finish, res.per_rank_finish,
+            "{threads} threads must reproduce single-thread finish times"
+        );
+        assert_eq!(base.makespan, res.makespan);
+        assert_eq!(base.stats.retransmits, res.stats.retransmits);
+        assert_eq!(base.stats.ranks_killed, res.stats.ranks_killed);
+        assert_eq!(base.stats.failures_detected, res.stats.failures_detected);
+    }
+    assert_bytes_survivors(base, &data, &[victim]);
+}
+
+#[test]
+fn detection_latency_tracks_the_rto() {
+    // The heartbeat detector declares a rank dead after rto x
+    // (max_retries + 1) of silence, so the recovery makespan is bounded
+    // below by the kill instant plus that delay — and shrinking the RTO
+    // shrinks time-to-recovery (the EXPERIMENTS detection-latency study).
+    let data = payload(150_000);
+    let tree = chaos_tree();
+    let victim = (1u32..16).find(|&r| !tree.children(r).is_empty()).unwrap();
+    let kill_at = t_us(5);
+    let run = |rto_us: u64| {
+        let (world, programs) = bcast_world(&data);
+        let plan = FaultPlan::lossy(1, 0.0)
+            .with_kill(victim, kill_at)
+            .with_rto(Duration::from_micros(rto_us));
+        world
+            .with_faults(plan)
+            .try_run(programs)
+            .unwrap_or_else(|e| panic!("rto={rto_us}us: {e}"))
+    };
+    let slow = run(8);
+    let fast = run(3);
+    // Default retries = 16, so detection lands at kill + 17 x rto.
+    let floor = |rto_us: u64| kill_at + Duration::from_micros(17 * rto_us);
+    assert!(
+        slow.makespan >= floor(8).saturating_since(Time::ZERO),
+        "recovery cannot beat the detector: makespan={}",
+        slow.makespan
+    );
+    assert!(
+        fast.makespan < slow.makespan,
+        "a 4x tighter RTO must recover sooner: fast={} slow={}",
+        fast.makespan,
+        slow.makespan
+    );
+    assert_bytes_survivors(fast, &data, &[victim]);
+}
+
+#[test]
+fn kill_after_completion_is_harmless() {
+    // A kill instant past the fault-free makespan: the rank already
+    // finished, so the late death changes nothing about the data and the
+    // audit stays clean (no failed bytes — everything was consumed).
+    let data = payload(100_000);
+    let (world, programs) = bcast_world(&data);
+    let clean = world.run(programs);
+    let (world, programs) = bcast_world(&data);
+    let late = Time::ZERO + Duration::from_nanos(clean.makespan.as_nanos() * 3);
+    let plan = FaultPlan::lossy(1, 0.0).with_kill(5, late);
+    let res = world
+        .with_faults(plan)
+        .try_run(programs)
+        .unwrap_or_else(|e| panic!("a post-completion kill must be harmless: {e}"));
+    assert_eq!(res.audit.failed_bytes, 0, "{}", res.audit);
+    assert_eq!(res.per_rank_finish, clean.per_rank_finish);
+    assert_bytes(res, &data);
+}
+
+#[test]
+fn kills_compose_with_loss_and_stalls() {
+    // The full gauntlet: packet loss, a transient stall, and a permanent
+    // interior death in one schedule. Survivors must still converge.
+    let data = payload(150_000);
+    let tree = chaos_tree();
+    let victim = (1u32..16).rfind(|&r| !tree.children(r).is_empty()).unwrap();
+    let stalled = (1u32..16).find(|&r| r != victim).unwrap();
+    let (world, programs) = bcast_world(&data);
+    let plan = FaultPlan::lossy(11, 0.01)
+        .with_stall(stalled, t_us(5), t_us(60))
+        .with_kill(victim, t_us(8))
+        .with_rto(Duration::from_micros(5));
+    let res = world
+        .with_faults(plan)
+        .try_run(programs)
+        .unwrap_or_else(|e| panic!("composed schedule must be survivable: {e}"));
+    assert_eq!(res.stats.ranks_killed, 1);
+    assert_bytes_survivors(res, &data, &[victim]);
 }
 
 #[test]

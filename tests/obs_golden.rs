@@ -155,14 +155,17 @@ fn stall_dumps_a_valid_flight_fragment() {
         Time::ZERO,
         Time::ZERO + Duration::from_millis(3_600_000),
     );
-    let diag = match world
+    let err = match world
         .with_faults(plan)
         .with_watchdog(Duration::from_millis(1))
         .with_recorder(Box::new(StreamRecorder::new().with_flight(512)))
         .try_run(programs)
     {
-        Err(d) => d,
+        Err(e) => e,
         Ok(_) => panic!("an hour-long stall must trip a 1ms watchdog"),
+    };
+    let adapt::mpi::RunError::Stalled(diag) = err.as_ref() else {
+        panic!("a stall without kills must classify as Stalled: {err}");
     };
     assert!(diag.watchdog_fired);
     let frag = diag
