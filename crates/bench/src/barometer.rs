@@ -284,7 +284,7 @@ impl Scenario {
                 Kind::FlowChurn { quick, full }
             }
             "fig8_plain" | "fig8_traced" | "fig8_streaming" | "fig8_inert_faults"
-            | "fig8_inert_kill" | "fig8_lossy" => {
+            | "fig8_inert_kill" | "fig8_lossy" | "fig8_monitored" => {
                 let warmup = p.int("warmup", 1)? as usize;
                 let iters = p.req_int("iters")? as usize;
                 let nodes = p.req_int("nodes")? as u32;
@@ -296,6 +296,7 @@ impl Scenario {
                     "fig8_streaming" => Fig8Mode::Streaming,
                     "fig8_inert_faults" => Fig8Mode::InertFaults,
                     "fig8_inert_kill" => Fig8Mode::InertKill,
+                    "fig8_monitored" => Fig8Mode::Monitored,
                     _ => Fig8Mode::Lossy(p.float("loss")?),
                 };
                 Kind::Fig8(Fig8Params {

@@ -17,6 +17,7 @@
 //! | `fig8_quick_bcast_inert_faults` | the sweep with an inert fault plan — the reliability layer's zero-overhead guard |
 //! | `fig8_quick_bcast_inert_kill` | the sweep with a past-completion kill plan — the failure detector's zero-overhead guard |
 //! | `fig8_quick_bcast_lossy1pct` | the sweep at 1% per-hop loss through the reliability layer |
+//! | `fig8_quick_bcast_256_monitored` | the sweep with the online health monitor snapshotting every 10 µs |
 //!
 //! The repo's recorded trajectory lives in the barometer ledger
 //! (`results/barometer.jsonl`, absolute numbers only — see
@@ -34,7 +35,7 @@ use adapt_faults::FaultPlan;
 use adapt_mpi::{Completion, Op, Payload, ProgramCtx, RankProgram, Token, World, WorldStats};
 use adapt_net::{FlowId, FlowScheduler, FlowSpec, Link, LinkClass, LinkId, NetStep, Network, Path};
 use adapt_noise::ClusterNoise;
-use adapt_obs::{MemRecorder, StreamRecorder};
+use adapt_obs::{MemRecorder, Monitor, StreamRecorder};
 use adapt_sim::queue::{EventKey, EventQueue};
 use adapt_sim::time::{Duration as SimDuration, Time};
 use adapt_sim::WorkerPool;
@@ -445,6 +446,11 @@ pub enum Fig8Mode {
     InertKill,
     /// Per-hop message loss at the given probability, with an 80 µs RTO.
     Lossy(f64),
+    /// Online health monitor attached at a 10 µs snapshot cadence: the
+    /// snapshot timer rides the event queue and the four anomaly
+    /// detectors run over every consecutive pair — the cost of always-on
+    /// health monitoring, gated at the standard 5% against the plain run.
+    Monitored,
 }
 
 /// Parameters of the fig8 end-to-end sweep.
@@ -539,6 +545,19 @@ pub fn bench_fig8_lossy(scale: Scale) -> PerfResult {
     )
 }
 
+/// The sweep with the online health monitor attached (10 µs snapshot
+/// cadence). The monitor's snapshot timer adds events to the hot loop
+/// and the detectors scan every rank and link per snapshot; its overhead
+/// against `fig8_quick_bcast_256` must clear the standard 5% gate for
+/// always-on health monitoring to be the default posture.
+pub fn bench_fig8_monitored(scale: Scale) -> PerfResult {
+    let _ = scale;
+    bench_fig8_with(
+        "fig8_quick_bcast_256_monitored",
+        &Fig8Params::defaults(Fig8Mode::Monitored),
+    )
+}
+
 /// One size of the fig8 sweep under `mode`'s attachment.
 fn run_fig8_size(case: &CollectiveCase, mode: Fig8Mode) -> WorldStats {
     match mode {
@@ -585,6 +604,19 @@ fn run_fig8_size(case: &CollectiveCase, mode: Fig8Mode) -> WorldStats {
             let res = world.with_faults(plan).run(programs);
             assert!(res.audit.is_clean(), "{}", res.audit);
             assert!(res.stats.retransmits > 0, "loss must exercise recovery");
+            res.stats
+        }
+        Fig8Mode::Monitored => {
+            let (world, programs) = world_for_case(case, NoiseScope::PerNode, 0.0, 1);
+            let res = world.with_monitor(Monitor::new(10_000)).run(programs);
+            assert!(res.audit.is_clean(), "{}", res.audit);
+            let health = res.health.expect("monitored run carries a health report");
+            assert!(health.snapshots > 0, "the snapshot timer must have fired");
+            assert_eq!(
+                health.total_alerts(),
+                0,
+                "a clean sweep must not page anyone: {health:?}"
+            );
             res.stats
         }
     }

@@ -54,8 +54,14 @@ pub struct FaultPlan {
     /// Windows during which every link is down: transfers launched inside
     /// a window are lost (and recovered by retransmission).
     pub down: Schedule,
-    /// Bandwidth/latency degradation windows.
+    /// Bandwidth/latency degradation windows (applied to every link).
     pub degrade: Vec<Degrade>,
+    /// Per-link degradation windows: `(link class label, window)`. The
+    /// label matches the world's link class labels (e.g. `NicTx(3)`), so
+    /// a plan can degrade one NIC and leave its peers alone — the hot-link
+    /// ground truth. Labels naming no link in the run's fabric are
+    /// silently inert (consistent with out-of-range kills).
+    pub degrade_links: Vec<(String, Degrade)>,
     /// Injected rank stalls: `(rank, [start, end))` freezes well beyond
     /// the OS-noise model.
     pub stalls: Vec<(u32, (Time, Time))>,
@@ -77,6 +83,7 @@ impl Default for FaultPlan {
             loss: 0.0,
             down: Schedule::empty(),
             degrade: Vec::new(),
+            degrade_links: Vec::new(),
             stalls: Vec::new(),
             kills: Vec::new(),
             node_kills: Vec::new(),
@@ -125,6 +132,27 @@ impl FaultPlan {
         self
     }
 
+    /// Add a degradation window over the links whose class label equals
+    /// `label` (e.g. `NicTx(3)`).
+    pub fn with_degrade_link(
+        mut self,
+        label: &str,
+        cap_factor: f64,
+        lat_factor: f64,
+        start: Time,
+        end: Time,
+    ) -> FaultPlan {
+        self.degrade_links.push((
+            label.to_string(),
+            Degrade {
+                cap_factor,
+                lat_factor,
+                window: (start, end),
+            },
+        ));
+        self
+    }
+
     /// Override the base retransmission timeout.
     pub fn with_rto(mut self, rto: Duration) -> FaultPlan {
         self.rel.rto = rto;
@@ -151,6 +179,7 @@ impl FaultPlan {
         self.loss <= 0.0
             && self.down.is_empty()
             && self.degrade.is_empty()
+            && self.degrade_links.is_empty()
             && self.stalls.is_empty()
             && self.kills.is_empty()
             && self.node_kills.is_empty()
@@ -187,6 +216,7 @@ impl FaultPlan {
     /// stall=3:10ms-20ms            freeze rank 3 over [10ms, 20ms)
     /// down=1ms-2ms                 all links down over [1ms, 2ms)
     /// degrade=0.1:5ms-8ms          all links at 10% bandwidth over [5ms, 8ms)
+    /// degradelink=NicTx(3):0.1:5ms-8ms   only links labelled NicTx(3)
     /// kill=3:10ms                  kill rank 3 permanently at 10ms
     /// killnode=1:2ms               kill every rank on node 1 at 2ms
     /// ```
@@ -249,6 +279,35 @@ impl FaultPlan {
                         window: (s, e),
                     });
                 }
+                "degradelink" => {
+                    // LABEL:FACTOR:START-END. The label is a link class
+                    // label (`NicTx(3)`) and never contains ':' itself,
+                    // so two splits take it apart unambiguously.
+                    let (label, rest) = value.split_once(':').ok_or_else(|| {
+                        format!("degradelink {value:?} is not LABEL:FACTOR:START-END")
+                    })?;
+                    let (factor, window) = rest.split_once(':').ok_or_else(|| {
+                        format!("degradelink {value:?} is not LABEL:FACTOR:START-END")
+                    })?;
+                    if label.is_empty() {
+                        return Err(format!("degradelink {value:?} has an empty label"));
+                    }
+                    let f: f64 = factor
+                        .parse()
+                        .map_err(|_| format!("bad degradelink factor {factor:?}"))?;
+                    if !f.is_finite() || f <= 0.0 {
+                        return Err(format!("degradelink factor {f} must be positive"));
+                    }
+                    let (s, e) = parse_window(window)?;
+                    plan.degrade_links.push((
+                        label.to_string(),
+                        Degrade {
+                            cap_factor: f,
+                            lat_factor: 1.0,
+                            window: (s, e),
+                        },
+                    ));
+                }
                 "kill" => {
                     let (rank, at) = parse_id_at(value, "kill", "RANK")?;
                     plan.kills.push((rank, at));
@@ -292,6 +351,13 @@ impl FaultPlan {
         for d in &self.degrade {
             terms.push(format!(
                 "degrade={}:{}",
+                d.cap_factor,
+                render_window(d.window.0, d.window.1)
+            ));
+        }
+        for (label, d) in &self.degrade_links {
+            terms.push(format!(
+                "degradelink={label}:{}:{}",
                 d.cap_factor,
                 render_window(d.window.0, d.window.1)
             ));
@@ -390,6 +456,25 @@ mod tests {
     }
 
     #[test]
+    fn parse_degradelink_grammar() {
+        let p = FaultPlan::parse("degradelink=NicTx(3):0.25:5ms-8ms", 7).unwrap();
+        assert_eq!(p.degrade_links.len(), 1);
+        let (label, d) = &p.degrade_links[0];
+        assert_eq!(label, "NicTx(3)");
+        assert!((d.cap_factor - 0.25).abs() < 1e-12);
+        assert_eq!(d.window, (Time(5_000_000), Time(8_000_000)));
+        assert!(!p.is_inert(), "a per-link degrade plan is never inert");
+        assert!(
+            !p.needs_reliability(),
+            "degradation slows links but loses nothing"
+        );
+        assert!(FaultPlan::parse("degradelink=NicTx(3):0.25", 1).is_err());
+        assert!(FaultPlan::parse("degradelink=:0.25:5ms-8ms", 1).is_err());
+        assert!(FaultPlan::parse("degradelink=NicTx(3):0:5ms-8ms", 1).is_err());
+        assert!(FaultPlan::parse("degradelink=NicTx(3):x:5ms-8ms", 1).is_err());
+    }
+
+    #[test]
     fn parse_rejects_malformed_terms() {
         assert!(FaultPlan::parse("loss=1.5", 1).is_err());
         assert!(FaultPlan::parse("bogus=1", 1).is_err());
@@ -480,6 +565,17 @@ mod tests {
             );
         }
         for _ in 0..g.below(3) {
+            let s = g.below(1_000_000);
+            let labels = ["NicTx(0)", "NicRx(3)", "Backbone", "Shm(1)"];
+            p = p.with_degrade_link(
+                labels[g.below(labels.len() as u64) as usize],
+                (1 + g.below(99)) as f64 / 100.0,
+                1.0,
+                Time(s),
+                Time(s + 1 + g.below(1_000_000)),
+            );
+        }
+        for _ in 0..g.below(3) {
             p = p.with_kill(g.below(16) as u32, Time(g.below(1_000_000)));
         }
         for _ in 0..g.below(2) {
@@ -547,6 +643,9 @@ mod tests {
             "stall=1:5ms-",
             "down=-",
             "degrade=:1ms-2ms",
+            "degradelink=",
+            "degradelink=NicTx(0)",
+            "degradelink=NicTx(0):-0.5:1ms-2ms",
             "loss=nan",
             "jitter=,",
             "=",

@@ -187,6 +187,7 @@ mod tests {
             obs: None,
             summary: None,
             flight: None,
+            health: None,
         }
     }
 

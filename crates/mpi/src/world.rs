@@ -31,8 +31,8 @@ use adapt_net::{
 };
 use adapt_noise::ClusterNoise;
 use adapt_obs::{
-    AnyRecorder, FlowClass, FlowStart, GaugeMetric, MsgEvent, NullRecorder, ObsData, ObsSummary,
-    ProtoKind, Recorder, Trigger,
+    AnyRecorder, FlowClass, FlowStart, GaugeMetric, HealthReport, Monitor, MsgEvent, NullRecorder,
+    ObsData, ObsSummary, ProtoKind, Recorder, SnapshotInput, Trigger,
 };
 use adapt_sim::audit::{AuditReport, RankAudit};
 use adapt_sim::fxhash::{FxHashMap, FxHashSet};
@@ -162,6 +162,10 @@ enum Ev {
     Detect {
         rank: Rank,
     },
+    /// Health-monitor snapshot timer: read world state, run the
+    /// detectors, reschedule. Rides the deterministic queue like any
+    /// other event, so the alert stream is thread-count invariant.
+    Snapshot,
 }
 
 #[derive(Debug, Default)]
@@ -626,6 +630,9 @@ pub struct RunResult {
     /// the attached recorder keeps a flight ring — the post-mortem for
     /// a run that completed but violated an invariant.
     pub flight: Option<String>,
+    /// Health-monitor report (`None` unless a monitor was attached via
+    /// [`World::with_monitor`]).
+    pub health: Option<HealthReport>,
 }
 
 struct QueueSched<'a>(&'a mut Queues);
@@ -818,6 +825,24 @@ pub struct World {
     /// Cached `ADAPT_TRACE` environment check — `start_send` is hot, and
     /// an environment lookup per send is an easily avoided lock+scan.
     trace_sends: bool,
+    /// Online health monitor (`None` = no snapshot timer scheduled, the
+    /// event stream is byte-identical to a pre-monitor build).
+    monitor: Option<Box<Monitor>>,
+    /// Reusable per-link utilization buffer (permille) for snapshots.
+    util_scratch: Vec<u32>,
+    /// Reusable per-rank snapshot buffers — refilled in one pass over
+    /// the rank table so a 10µs monitor cadence stays within the
+    /// barometer's 5% overhead gate.
+    snap_scratch: SnapScratch,
+}
+
+/// Per-rank columns of one monitor snapshot (see [`World::on_snapshot`]).
+#[derive(Default)]
+struct SnapScratch {
+    progress_ns: Vec<u64>,
+    finished_at_ns: Vec<Option<u64>>,
+    posted: Vec<u32>,
+    unexp: Vec<u32>,
 }
 
 impl World {
@@ -855,6 +880,9 @@ impl World {
             obs_on: false,
             links_scratch: Vec::new(),
             trace_sends: std::env::var_os("ADAPT_TRACE").is_some(),
+            monitor: None,
+            util_scratch: Vec::new(),
+            snap_scratch: SnapScratch::default(),
         }
     }
 
@@ -916,6 +944,21 @@ impl World {
         self
     }
 
+    /// Attach an online health monitor (see [`adapt_obs::Monitor`]): a
+    /// snapshot timer event rides the deterministic queue every
+    /// `monitor.interval_ns()` of simulated time, the detectors run over
+    /// consecutive snapshots, and the report lands in
+    /// [`RunResult::health`]. Keep a [`adapt_obs::HealthView`] (from
+    /// [`Monitor::view`]) to query alerts live, mid-run. Snapshots read
+    /// state the simulation maintains anyway and never perturb an event,
+    /// so the monitored run's makespan and audit are byte-identical to
+    /// the unmonitored run — and the alert stream itself is
+    /// thread-count invariant.
+    pub fn with_monitor(mut self, monitor: Monitor) -> World {
+        self.monitor = Some(Box::new(monitor));
+        self
+    }
+
     /// Activate the sharded parallel simulation core (see [`Queues`]):
     /// one event-queue shard per node, merged by the global `(time, seq)`
     /// key, with conservative epoch accounting against the fabric's
@@ -964,7 +1007,8 @@ impl World {
                 | Ev::Timer { .. }
                 | Ev::FaultCmd { .. }
                 | Ev::Kill { .. }
-                | Ev::Detect { .. } => 0,
+                | Ev::Detect { .. }
+                | Ev::Snapshot => 0,
             },
         ));
         self
@@ -1077,6 +1121,38 @@ impl World {
                     );
                 }
             }
+            // Targeted degradation (`degradelink=LABEL:FACTOR:WIN`)
+            // resolves its label against the links' debug names; labels
+            // matching nothing are silently inert, so one plan is
+            // reusable across fabrics of different shapes.
+            for (label, d) in &fs.plan.degrade_links {
+                let matching: Vec<u32> = self
+                    .net
+                    .links()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| format!("{:?}", l.class) == *label)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                for link in matching {
+                    self.queue.schedule_untracked(
+                        d.window.0,
+                        Ev::FaultCmd {
+                            link,
+                            cap: d.cap_factor,
+                            lat: d.lat_factor,
+                        },
+                    );
+                    self.queue.schedule_untracked(
+                        d.window.1,
+                        Ev::FaultCmd {
+                            link,
+                            cap: 1.0,
+                            lat: 1.0,
+                        },
+                    );
+                }
+            }
         }
 
         // Kills become events; node kills expand against the placement.
@@ -1126,6 +1202,22 @@ impl World {
                 .collect();
             self.obs.link_params(caps, lats);
         }
+        if let Some(mut mon) = self.monitor.take() {
+            let nranks = self.nranks();
+            let labels: Vec<String> = self
+                .net
+                .links()
+                .iter()
+                .map(|l| format!("{:?}", l.class))
+                .collect();
+            self.util_scratch = vec![0; labels.len()];
+            mon.meta(nranks, &labels);
+            let iv = mon.interval_ns();
+            // First snapshot one interval in: at t=0 nothing has run, so
+            // a snapshot there would only dilute every detector's window.
+            self.queue.schedule_untracked(Time(iv), Ev::Snapshot);
+            self.monitor = Some(mon);
+        }
         let sample_iv = if self.obs_on {
             self.obs.metrics_interval().unwrap_or(0)
         } else {
@@ -1150,7 +1242,13 @@ impl World {
                     return Err(self.classify(diag));
                 }
             }
-            prev_t = t;
+            // Snapshot timers observe the world but are not progress:
+            // if they advanced the watchdog's horizon, any monitored
+            // stall shorter-period than the snapshot interval could
+            // never be diagnosed.
+            if !matches!(ev, Ev::Snapshot) {
+                prev_t = t;
+            }
             self.stats.events += 1;
             assert!(
                 self.stats.events <= self.max_events,
@@ -1167,6 +1265,7 @@ impl World {
                 }
                 Ev::Kill { rank } => self.on_kill(t, rank),
                 Ev::Detect { rank } => self.on_detect(t, rank),
+                Ev::Snapshot => self.on_snapshot(t),
             }
             if let Some(mut e) = self.run_error.take() {
                 e.set_flight(self.obs.flight_dump());
@@ -1271,6 +1370,7 @@ impl World {
             obs,
             summary,
             flight,
+            health: self.monitor.take().map(|m| m.into_report()),
             stats: self.stats,
             programs: self
                 .programs
@@ -1961,6 +2061,66 @@ impl World {
             obs.gauge(t_ns, GaugeMetric::LinkFlows, link, count as f64);
             obs.gauge(t_ns, GaugeMetric::LinkUtil, link, util);
         });
+    }
+
+    /// Handle the health-monitor snapshot timer: assemble a
+    /// [`SnapshotInput`] from state the simulation maintains anyway, run
+    /// the detectors, forward fired alerts to the recorder, and re-arm
+    /// the timer one interval out. Re-arming stops once every rank has
+    /// finished or the queue has drained — a dead queue must stay dead
+    /// so the deadlock diagnosis still fires, and a finished run needs
+    /// no further snapshots.
+    fn on_snapshot(&mut self, t: Time) {
+        let Some(mut mon) = self.monitor.take() else {
+            return;
+        };
+        let snap = &mut self.snap_scratch;
+        snap.progress_ns.clear();
+        snap.finished_at_ns.clear();
+        snap.posted.clear();
+        snap.unexp.clear();
+        for r in &self.ranks {
+            snap.progress_ns.push(r.busy_accum.as_nanos());
+            snap.finished_at_ns
+                .push(r.finished_at.map(|f| f.as_nanos()));
+            snap.posted.push(r.posted.len() as u32);
+            snap.unexp
+                .push((r.unexp_eager.len() + r.unexp_rts.len()) as u32);
+        }
+        self.util_scratch.fill(0);
+        let util = &mut self.util_scratch;
+        self.net.for_each_link_load(|link, _count, u| {
+            if let Some(slot) = util.get_mut(link as usize) {
+                *slot = (u * 1000.0).round().clamp(0.0, 1000.0) as u32;
+            }
+        });
+        let injected = self.net.injected_bytes();
+        let delivered = self.net.delivered_bytes();
+        let dropped = self.net.dropped_bytes();
+        let input = SnapshotInput {
+            t_ns: t.as_nanos(),
+            progress_ns: &self.snap_scratch.progress_ns,
+            finished_at_ns: &self.snap_scratch.finished_at_ns,
+            posted: &self.snap_scratch.posted,
+            unexp: &self.snap_scratch.unexp,
+            link_util_pm: &self.util_scratch,
+            in_flight_bytes: injected.saturating_sub(delivered).saturating_sub(dropped),
+            active_flows: self.net.active_flows() as u64,
+            delivered_bytes: delivered,
+            retransmits: self.stats.retransmits,
+            acks: self.stats.acks,
+        };
+        let alerts = mon.observe(&input);
+        if self.obs_on {
+            for &a in alerts {
+                self.obs.alert(a);
+            }
+        }
+        if self.finished < self.nranks() && !self.queue.is_empty() {
+            self.queue
+                .schedule_untracked(t + Duration(mon.interval_ns()), Ev::Snapshot);
+        }
+        self.monitor = Some(mon);
     }
 
     // ------------------------------------------------------------------

@@ -8,6 +8,7 @@
 //! dumps can be appended anywhere on the line:
 //!
 //! - `{"format": "adapt-obs-summary-v1"` → streaming telemetry summary
+//! - `{"format": "adapt-obs-health-v1"`  → health-monitor artifact
 //! - the metrics CSV header                → gauge/summary metrics CSV
 //! - any other `{`                         → Chrome trace (full or flight fragment)
 //! - anything else                         → critical-path report
@@ -25,6 +26,13 @@ fn check(path: &str, text: &str) -> Result<String, String> {
             "{path}: OK — summary of {} ranks ({} msgs, {} flows, {} classes, \
              {} hot links)",
             s.ranks, s.msgs, s.flows, s.classes, s.hot_links
+        ));
+    }
+    if head.starts_with(&format!("{{\"format\": \"{}\"", adapt_obs::HEALTH_FORMAT)) {
+        let h = adapt_obs::validate_health(text)?;
+        return Ok(format!(
+            "{path}: OK — health of {} ranks ({} snapshots, {} alerts, {} kept)",
+            h.ranks, h.snapshots, h.alerts, h.kept_alerts
         ));
     }
     if text.lines().next() == Some(adapt_obs::CSV_HEADER) {

@@ -50,6 +50,7 @@ pub(crate) fn esc(s: &str) -> String {
 
 const PID_RANKS: u32 = 1;
 const PID_LINKS: u32 = 2;
+const PID_HEALTH: u32 = 5;
 
 struct Emitter {
     out: String,
@@ -275,6 +276,42 @@ pub fn chrome_trace(data: &ObsData) -> String {
                 e.counter(&name, PID_LINKS, g.t_ns, g.value);
             }
             m => e.counter(m.label(), PID_RANKS, g.t_ns, g.value),
+        }
+    }
+
+    // Health-monitor alerts: zero-duration markers on a dedicated
+    // process, one track per detector. Traces recorded without a
+    // monitor carry no health process at all.
+    if !data.alerts.is_empty() {
+        e.meta_name("process_name", PID_HEALTH, None, "health alerts");
+        for k in crate::monitor::AlertKind::ALL {
+            e.meta_name("thread_name", PID_HEALTH, Some(k.index() as u32), k.label());
+        }
+        for a in &data.alerts {
+            let subject = match a.kind {
+                crate::monitor::AlertKind::Straggler => format!("rank {}", a.subject),
+                crate::monitor::AlertKind::HotLink => {
+                    let label = data
+                        .link_labels
+                        .get(a.subject as usize)
+                        .map(String::as_str)
+                        .unwrap_or("link");
+                    format!("L{} {}", a.subject, crate::topo_label(label))
+                }
+                _ => "world".to_string(),
+            };
+            let name = format!("{} {subject}", a.kind.label());
+            let args = format!(
+                "\"subject\":{},\"value\":{},\"threshold\":{}",
+                a.subject, a.value, a.threshold
+            );
+            e.ev(format!(
+                "\"name\":\"{}\",\"cat\":\"health\",\"ph\":\"X\",\"pid\":{PID_HEALTH},\
+                 \"tid\":{},\"ts\":{},\"dur\":0.000,\"args\":{{{args}}}",
+                esc(&name),
+                a.kind.index(),
+                ts(a.t_ns),
+            ));
         }
     }
 

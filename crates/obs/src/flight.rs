@@ -80,6 +80,15 @@ pub enum FlightSpan {
         /// Delivery (`true`) or launch (`false`).
         end: bool,
     },
+    /// A health-monitor alert (zero-duration marker).
+    Alert {
+        /// Alert-kind label ([`AlertKind::label`](crate::AlertKind)).
+        label: &'static str,
+        /// Rank or link id the detector fired on.
+        subject: u32,
+        /// Snapshot instant (ns).
+        t_ns: u64,
+    },
 }
 
 /// Fixed-capacity span ring; see the module docs.
@@ -248,6 +257,19 @@ impl FlightRecorder {
                         &format!("\"bytes\":{bytes}"),
                     )
                 }
+                FlightSpan::Alert {
+                    label,
+                    subject,
+                    t_ns,
+                } => x(
+                    label,
+                    "health",
+                    PID_MARKS,
+                    2,
+                    t_ns,
+                    t_ns,
+                    &format!("\"subject\":{subject}"),
+                ),
             };
             ev(&mut out, body);
         }
@@ -318,11 +340,17 @@ mod tests {
                 t_ns: i * 100 + 30,
                 end: false,
             });
+            f.push(FlightSpan::Alert {
+                label: "straggler",
+                subject: (i % 4) as u32,
+                t_ns: i * 100 + 35,
+            });
         }
         let json = f.chrome_fragment();
         let summary = crate::validate::validate_chrome(&json).expect("fragment must validate");
         assert!(summary.complete_spans > 0);
         assert!(json.contains("flight_spans_dropped"));
+        assert!(json.contains("\"cat\":\"health\""), "alert markers render");
     }
 
     #[test]

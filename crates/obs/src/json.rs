@@ -242,6 +242,27 @@ pub fn to_json(data: &ObsData) -> String {
     }
     o.push_str("],\n");
 
+    // Health alerts only exist on monitored runs; the key is omitted
+    // entirely (and optional on parse) so unmonitored recordings —
+    // including every committed golden fixture — keep their exact bytes.
+    if !data.alerts.is_empty() {
+        o.push_str("\"alerts\":[");
+        for (i, a) in data.alerts.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&format!(
+                "\n{{\"kind\":\"{}\",\"t_ns\":{},\"subject\":{},\"value\":{},\"threshold\":{}}}",
+                a.kind.label(),
+                a.t_ns,
+                a.subject,
+                a.value,
+                a.threshold
+            ));
+        }
+        o.push_str("],\n");
+    }
+
     o.push_str("\"per_rank_finish_ns\":[");
     for (i, f) in data.per_rank_finish_ns.iter().enumerate() {
         if i > 0 {
@@ -486,6 +507,19 @@ pub fn from_json(text: &str) -> Result<ObsData, String> {
                 .ok_or("gauge value is not a number")?,
         });
     }
+    if doc.get("alerts").is_some() {
+        for a in get_arr(&doc, "alerts")? {
+            let kind = get_str(a, "kind")?;
+            data.alerts.push(crate::monitor::HealthAlert {
+                kind: crate::monitor::AlertKind::from_label(kind)
+                    .ok_or_else(|| format!("unknown alert kind {kind:?}"))?,
+                t_ns: get_u64(a, "t_ns")?,
+                subject: get_u32(a, "subject")?,
+                value: get_u64(a, "value")?,
+                threshold: get_u64(a, "threshold")?,
+            });
+        }
+    }
     for f in get_arr(&doc, "per_rank_finish_ns")? {
         data.per_rank_finish_ns
             .push(f.as_num().ok_or("finish time is not a number")? as u64);
@@ -601,5 +635,27 @@ mod tests {
     fn rejects_wrong_format() {
         assert!(from_json("{\"format\":\"something-else\"}").is_err());
         assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn alerts_round_trip_and_stay_absent_when_unmonitored() {
+        // Unmonitored recordings — every committed fixture — never carry
+        // the key, so their serialized bytes are unchanged.
+        let plain = sample();
+        assert!(!to_json(&plain).contains("\"alerts\""));
+
+        let mut d = sample();
+        d.alerts.push(crate::monitor::HealthAlert {
+            kind: crate::monitor::AlertKind::HotLink,
+            t_ns: 4000,
+            subject: 1,
+            value: 910,
+            threshold: 850,
+        });
+        let text = to_json(&d);
+        assert!(text.contains("\"kind\":\"hot_link\""));
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.alerts, d.alerts);
+        assert_eq!(to_json(&back), text);
     }
 }

@@ -51,12 +51,37 @@ mod flight;
 mod hist;
 mod json;
 mod metrics;
+mod monitor;
 mod record;
 mod recorder;
 mod report;
 mod stream;
 mod validate;
 mod whatif;
+
+/// Resolve a link class debug label (`NicTx(3)`, `Backbone`) to a
+/// topology name (`node3/nic-tx`, `backbone`). Reports and the health
+/// monitor print these instead of raw class labels; unknown labels pass
+/// through unchanged, so the mapping is safe on any input.
+pub fn topo_label(class: &str) -> String {
+    let (variant, arg) = match class.find('(') {
+        Some(p) => (&class[..p], class[p + 1..].trim_end_matches(')')),
+        None => (class, ""),
+    };
+    match variant {
+        "Shm" => format!("socket{arg}/shm"),
+        "InterSocket" => format!("node{arg}/xsocket"),
+        "NicTx" => format!("node{arg}/nic-tx"),
+        "NicRx" => format!("node{arg}/nic-rx"),
+        "Backbone" => "backbone".to_string(),
+        "PcieUp" => format!("socket{arg}/pcie-up"),
+        "PcieDown" => format!("socket{arg}/pcie-down"),
+        "NvLink" => format!("socket{arg}/nvlink"),
+        "CoreTx" => format!("core{arg}/core-tx"),
+        "CoreRx" => format!("core{arg}/core-rx"),
+        _ => class.to_string(),
+    }
+}
 
 pub use chrome::chrome_trace;
 pub use critical::{critical_path, CriticalPath, Layer, Segment, LAYERS};
@@ -65,6 +90,10 @@ pub use flight::{FlightRecorder, FlightSpan};
 pub use hist::{nearest_rank, percentile, Hist, HIST_BUCKETS};
 pub use json::{from_json, to_json, FORMAT};
 pub use metrics::{metrics_csv, CSV_HEADER, FLOW_CLASSES};
+pub use monitor::{
+    health_json, health_report_text, AlertKind, HealthAlert, HealthReport, HealthView, Monitor,
+    MonitorConfig, SnapshotInput, HEALTH_FORMAT, MAX_REPORT_ALERTS,
+};
 pub use record::{
     ComputeRec, DispatchSpan, FlowClass, FlowRec, GaugeMetric, GaugeRec, MsgRec, ObsData, PhaseRec,
     ProtoKind, ProtoSpan, Trigger,
@@ -73,7 +102,7 @@ pub use recorder::{AnyRecorder, FlowStart, MemRecorder, MsgEvent, NullRecorder, 
 pub use report::{render_prediction, render_sweep, render_validation, speedup_sweep, SweepRow};
 pub use stream::{summary_json, summary_report, ObsSummary, StreamRecorder, SUMMARY_FORMAT};
 pub use validate::{
-    parse_json, validate_chrome, validate_critical_report, validate_metrics_csv, validate_summary,
-    ChromeSummary, Json, SummaryCheck,
+    parse_json, validate_chrome, validate_critical_report, validate_health, validate_metrics_csv,
+    validate_summary, ChromeSummary, HealthCheck, Json, SummaryCheck,
 };
 pub use whatif::{parse_layer, predict, Intervention, Prediction};

@@ -346,6 +346,9 @@ pub struct ObsData {
     pub phases: Vec<PhaseRec>,
     /// Sampled gauges, in sampling order.
     pub gauges: Vec<GaugeRec>,
+    /// Health-monitor alerts, in firing order. Empty unless a monitor
+    /// was attached (recordings made without one carry no field).
+    pub alerts: Vec<crate::monitor::HealthAlert>,
     /// Per-rank finish times (ns).
     pub per_rank_finish_ns: Vec<u64>,
 }

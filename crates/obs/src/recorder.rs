@@ -150,6 +150,9 @@ pub trait Recorder {
     fn phase(&mut self, _rank: u32, _phase: u32, _begin: bool, _t_ns: u64) {}
     /// A sampled gauge value.
     fn gauge(&mut self, _t_ns: u64, _metric: GaugeMetric, _index: u32, _value: f64) {}
+    /// A health-monitor alert fired at a snapshot boundary (only when a
+    /// [`Monitor`](crate::Monitor) is attached alongside the recorder).
+    fn alert(&mut self, _a: crate::monitor::HealthAlert) {}
     /// The run completed; return the accumulated data, if any.
     fn finish(&mut self, _per_rank_finish_ns: &[u64]) -> Option<ObsData> {
         None
@@ -369,6 +372,10 @@ impl Recorder for MemRecorder {
         });
     }
 
+    fn alert(&mut self, a: crate::monitor::HealthAlert) {
+        self.data.alerts.push(a);
+    }
+
     fn finish(&mut self, per_rank_finish_ns: &[u64]) -> Option<ObsData> {
         self.data.per_rank_finish_ns = per_rank_finish_ns.to_vec();
         Some(std::mem::take(&mut self.data))
@@ -489,6 +496,11 @@ impl Recorder for AnyRecorder {
     #[inline]
     fn gauge(&mut self, t_ns: u64, metric: GaugeMetric, index: u32, value: f64) {
         fan_out!(self, r => r.gauge(t_ns, metric, index, value))
+    }
+
+    #[inline]
+    fn alert(&mut self, a: crate::monitor::HealthAlert) {
+        fan_out!(self, r => r.alert(a))
     }
 
     fn finish(&mut self, per_rank_finish_ns: &[u64]) -> Option<ObsData> {

@@ -522,6 +522,18 @@ impl Recorder for StreamRecorder {
 
     fn gauge(&mut self, _t_ns: u64, _metric: GaugeMetric, _index: u32, _value: f64) {}
 
+    fn alert(&mut self, a: crate::monitor::HealthAlert) {
+        // Alerts land in the flight ring next to the spans they explain,
+        // so a post-mortem fragment shows what the monitor saw last.
+        if let Some(f) = &mut self.flight {
+            f.push(FlightSpan::Alert {
+                label: a.kind.label(),
+                subject: a.subject,
+                t_ns: a.t_ns,
+            });
+        }
+    }
+
     fn finish(&mut self, per_rank_finish_ns: &[u64]) -> Option<ObsData> {
         // Flush messages still open at end of run (their retransmit
         // counts are final now). Histogram adds commute, so HashMap
@@ -828,11 +840,14 @@ pub fn summary_report(s: &ObsSummary) -> String {
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
             .map(|(c, &v)| (c, v))
             .unwrap_or((0, 0));
-        let label = s
-            .link_labels
-            .get(link as usize)
-            .map(String::as_str)
-            .unwrap_or("link");
+        // Resolve the raw class label to a topology name so the hot-spot
+        // table reads "node3/nic-tx", not "NicTx(3)".
+        let label = crate::topo_label(
+            s.link_labels
+                .get(link as usize)
+                .map(String::as_str)
+                .unwrap_or("link"),
+        );
         writeln!(
             out,
             "    L{link:<4} {label:<18} {:>10}   peak {:>10} @ col {peak_col}",
@@ -1002,6 +1017,50 @@ mod tests {
         assert_eq!(h.cells.iter().sum::<u64>(), 1_000_000);
         assert!(h.width_ns() >= 1_000_000_000 / HEAT_COLS as u64);
         assert!(h.width_ns().is_power_of_two());
+    }
+
+    #[test]
+    fn heat_fold_on_the_exact_column_boundary_conserves_bytes() {
+        // A run whose length lands exactly on a power-of-two column
+        // boundary: fill every column of the initial 64 × 1024 ns grid
+        // across two links, then land one span exactly at t = 64 × 1024
+        // (first ns past the grid) to force a single pairwise fold.
+        let mut h = Heatmap::default();
+        h.init(2);
+        let grid_ns = HEAT_COLS as u64 * HEAT_BASE_NS;
+        for c in 0..HEAT_COLS as u64 {
+            h.add_span(&[0], c * HEAT_BASE_NS, c * HEAT_BASE_NS + 1, 10);
+            h.add_span(&[1], c * HEAT_BASE_NS, c * HEAT_BASE_NS + 1, 3);
+        }
+        let before: u64 = h.cells.iter().sum();
+        assert_eq!(before, HEAT_COLS as u64 * 13);
+        let shift_before = h.shift;
+
+        h.add_span(&[0, 1], grid_ns, grid_ns + 1, 7);
+
+        // Exactly one fold: column width doubled, the grid stayed fixed
+        // size, and the folded-out half is zero except the new span's
+        // landing column.
+        assert_eq!(h.shift, shift_before + 1);
+        assert_eq!(h.cells.len(), 2 * HEAT_COLS);
+        assert_eq!(
+            h.cells.iter().sum::<u64>(),
+            before + 14,
+            "pairwise fold must conserve per-link byte totals"
+        );
+        // Per-link conservation, not just the grand total: link 0 rows
+        // sum to 64×10 + 7, link 1 rows to 64×3 + 7.
+        let link_total = |l: usize| (0..HEAT_COLS).map(|c| h.cells[c * 2 + l]).sum::<u64>();
+        assert_eq!(link_total(0), HEAT_COLS as u64 * 10 + 7);
+        assert_eq!(link_total(1), HEAT_COLS as u64 * 3 + 7);
+        // The fold halved the populated region: the old 64 columns now
+        // occupy the first 32, and the boundary span sits at column 32.
+        for l in 0..2 {
+            assert_eq!(h.cells[32 * 2 + l], 7, "boundary span lands at col 32");
+            for c in 33..HEAT_COLS {
+                assert_eq!(h.cells[c * 2 + l], 0, "tail must be zeroed (col {c})");
+            }
+        }
     }
 
     #[test]

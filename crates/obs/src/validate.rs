@@ -738,6 +738,119 @@ pub fn validate_summary(text: &str) -> Result<SummaryCheck, String> {
     Ok(chk)
 }
 
+/// What [`validate_health`] found in a well-formed health artifact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthCheck {
+    /// Snapshots taken.
+    pub snapshots: u64,
+    /// Total alerts across all kinds (`counts`, kept + dropped).
+    pub alerts: u64,
+    /// Alert records present in the `alerts` array.
+    pub kept_alerts: usize,
+    /// Ranks in the monitored job.
+    pub ranks: u64,
+}
+
+/// Parse and semantically validate a health artifact (format
+/// `adapt-obs-health-v1`, produced by
+/// [`health_json`](crate::monitor::health_json)).
+///
+/// Checks, beyond the parse itself: the format tag; a positive snapshot
+/// interval; that `counts` covers exactly the known alert kinds; that
+/// every alert record carries a known kind, a timestamp within the
+/// snapshotted range, and its subject label; that alert timestamps are
+/// non-decreasing (the stream is an in-run timeline); and that the
+/// per-kind counts equal the kept records plus `dropped_alerts`.
+pub fn validate_health(text: &str) -> Result<HealthCheck, String> {
+    let doc = parse_json(text)?;
+    let format = doc
+        .get("format")
+        .and_then(Json::as_str)
+        .ok_or("missing 'format'")?;
+    if format != crate::monitor::HEALTH_FORMAT {
+        return Err(format!("unsupported health format {format:?}"));
+    }
+    let interval = sum_u64(&doc, "interval_ns")?;
+    if interval == 0 {
+        return Err("'interval_ns' must be positive".into());
+    }
+    let nranks = sum_u64(&doc, "nranks")?;
+    sum_u64(&doc, "nlinks")?;
+    let snapshots = sum_u64(&doc, "snapshots")?;
+    let last_t = sum_u64(&doc, "last_t_ns")?;
+
+    let counts = doc.get("counts").ok_or("missing 'counts'")?;
+    let known: Vec<&str> = crate::monitor::AlertKind::ALL
+        .iter()
+        .map(|k| k.label())
+        .collect();
+    let Json::Obj(pairs) = counts else {
+        return Err("'counts' must be an object".into());
+    };
+    if pairs.len() != known.len() || pairs.iter().any(|(k, _)| !known.contains(&k.as_str())) {
+        return Err(format!(
+            "'counts' must carry exactly the known alert kinds {known:?}"
+        ));
+    }
+    let mut total = 0u64;
+    for kind in &known {
+        total += sum_u64(counts, kind).map_err(|e| format!("counts: {e}"))?;
+    }
+
+    let alerts = doc
+        .get("alerts")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'alerts' array")?;
+    let mut prev_t = 0u64;
+    for (i, a) in alerts.iter().enumerate() {
+        let kind = a
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("alerts[{i}]: missing 'kind'"))?;
+        if !known.contains(&kind) {
+            return Err(format!("alerts[{i}]: unknown kind {kind:?}"));
+        }
+        let t = sum_u64(a, "t_ns").map_err(|e| format!("alerts[{i}]: {e}"))?;
+        if t < prev_t {
+            return Err(format!("alerts[{i}]: timestamps must be non-decreasing"));
+        }
+        if t > last_t {
+            return Err(format!(
+                "alerts[{i}]: t_ns {t} beyond last snapshot {last_t}"
+            ));
+        }
+        prev_t = t;
+        let subject = sum_u64(a, "subject").map_err(|e| format!("alerts[{i}]: {e}"))?;
+        if kind == "straggler" && subject >= nranks {
+            return Err(format!(
+                "alerts[{i}]: straggler rank {subject} out of range"
+            ));
+        }
+        if a.get("label").and_then(Json::as_str).is_none() {
+            return Err(format!("alerts[{i}]: missing 'label'"));
+        }
+        sum_u64(a, "value").map_err(|e| format!("alerts[{i}]: {e}"))?;
+        sum_u64(a, "threshold").map_err(|e| format!("alerts[{i}]: {e}"))?;
+    }
+
+    let dropped = sum_u64(&doc, "dropped_alerts")?;
+    if alerts.len() as u64 + dropped != total {
+        return Err(format!(
+            "counts sum to {total}, but {} kept + {dropped} dropped alerts",
+            alerts.len()
+        ));
+    }
+    if snapshots == 0 && total > 0 {
+        return Err("alerts recorded with zero snapshots".into());
+    }
+    Ok(HealthCheck {
+        snapshots,
+        alerts: total,
+        kept_alerts: alerts.len(),
+        ranks: nranks,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -856,6 +969,77 @@ mod tests {
             .contains("exceeds totals.msgs"));
         assert!(validate_summary("{\"format\": \"nope\"}").is_err());
         assert!(validate_summary("not json").is_err());
+    }
+
+    /// A minimal well-formed health artifact the tampering tests mutate.
+    fn good_health() -> String {
+        "{\"format\": \"adapt-obs-health-v1\",\n\"interval_ns\": 1000,\n\"nranks\": 4,\n\
+         \"nlinks\": 2,\n\"snapshots\": 9,\n\"last_t_ns\": 9000,\n\
+         \"counts\": {\"straggler\": 1, \"hot_link\": 1, \"retransmit_storm\": 0, \
+         \"progress_flatline\": 0},\n\"alerts\": [\n\
+         {\"kind\": \"straggler\", \"t_ns\": 5000, \"subject\": 3, \"label\": \"rank 3\", \
+         \"value\": 5000, \"threshold\": 2400},\n\
+         {\"kind\": \"hot_link\", \"t_ns\": 8000, \"subject\": 1, \"label\": \"L1 node1/nic-tx\", \
+         \"value\": 900, \"threshold\": 850}],\n\"dropped_alerts\": 0\n}\n"
+            .to_string()
+    }
+
+    #[test]
+    fn health_check_accepts_a_well_formed_artifact() {
+        let chk = validate_health(&good_health()).unwrap();
+        assert_eq!(chk.snapshots, 9);
+        assert_eq!(chk.alerts, 2);
+        assert_eq!(chk.kept_alerts, 2);
+        assert_eq!(chk.ranks, 4);
+    }
+
+    #[test]
+    fn health_check_rejects_tampered_artifacts() {
+        let good = good_health();
+        // Wrong or missing format tag.
+        assert!(validate_health(&good.replacen("health-v1", "health-v2", 1))
+            .unwrap_err()
+            .contains("unsupported health format"));
+        // Counts that disagree with the alert records.
+        let bad = good.replacen("\"straggler\": 1", "\"straggler\": 2", 1);
+        assert!(validate_health(&bad).unwrap_err().contains("counts sum"));
+        // An unknown alert kind.
+        let bad = good.replacen("\"kind\": \"hot_link\"", "\"kind\": \"gremlin\"", 1);
+        assert!(validate_health(&bad).unwrap_err().contains("unknown kind"));
+        // A counts object missing a known kind.
+        let bad = good.replacen("\"retransmit_storm\": 0, ", "", 1);
+        assert!(validate_health(&bad)
+            .unwrap_err()
+            .contains("exactly the known alert kinds"));
+        // Timestamps running backwards.
+        let bad = good.replacen("\"t_ns\": 8000", "\"t_ns\": 4000", 1);
+        assert!(validate_health(&bad)
+            .unwrap_err()
+            .contains("non-decreasing"));
+        // An alert claiming to come after the last snapshot.
+        let bad = good.replacen("\"t_ns\": 8000", "\"t_ns\": 9500", 1);
+        assert!(validate_health(&bad)
+            .unwrap_err()
+            .contains("beyond last snapshot"));
+        // A straggler rank outside the job.
+        let bad = good.replacen("\"subject\": 3", "\"subject\": 7", 1);
+        assert!(validate_health(&bad).unwrap_err().contains("out of range"));
+        // A zero snapshot interval.
+        let bad = good.replacen("\"interval_ns\": 1000", "\"interval_ns\": 0", 1);
+        assert!(validate_health(&bad).unwrap_err().contains("positive"));
+        // Alerts without any snapshots.
+        let bad = good
+            .replacen("\"snapshots\": 9", "\"snapshots\": 0", 1)
+            .replacen("\"last_t_ns\": 9000", "\"last_t_ns\": 0", 1)
+            .replacen("\"t_ns\": 5000", "\"t_ns\": 0", 1)
+            .replacen("\"t_ns\": 8000", "\"t_ns\": 0", 1);
+        assert!(validate_health(&bad)
+            .unwrap_err()
+            .contains("zero snapshots"));
+        // Truncation and non-JSON input parse-fail, never panic.
+        assert!(validate_health(&good[..good.len() / 2]).is_err());
+        assert!(validate_health("not json").is_err());
+        assert!(validate_health("{}").is_err());
     }
 
     #[test]

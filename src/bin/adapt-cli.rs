@@ -11,9 +11,9 @@ use adapt::collectives::{
     run_intervened, run_once_scoped, world_for_case, CollectiveCase, Library, NoiseScope, OpKind,
 };
 use adapt::obs::{
-    chrome_trace, critical_path, diff_runs, from_json, metrics_csv, predict, render_prediction,
-    render_validation, summary_json, summary_report, to_json, AnyRecorder, Intervention,
-    MemRecorder, ObsData, StreamRecorder,
+    chrome_trace, critical_path, diff_runs, from_json, health_json, health_report_text,
+    metrics_csv, predict, render_prediction, render_validation, summary_json, summary_report,
+    to_json, AnyRecorder, Intervention, MemRecorder, Monitor, ObsData, StreamRecorder,
 };
 use adapt::prelude::*;
 
@@ -108,6 +108,18 @@ kill=R:T,killnode=N:T",
         "fault-injection plan",
     ),
     ("watchdog-horizon", "DUR", "abort if no progress for DUR"),
+    (
+        "monitor",
+        "NS",
+        "online health monitor: snapshot the run every NS of simulated time \
+and run the anomaly detectors (straggler, hot-link, retransmit-storm, flatline)",
+    ),
+    (
+        "health-out",
+        "FILE.json",
+        "write the health report (adapt-obs-health-v1 JSON); implies \
+--monitor at the default 10000ns cadence",
+    ),
     ("help", "", "print this usage"),
 ];
 
@@ -245,6 +257,59 @@ impl ObsArgs {
     }
 }
 
+/// Health-monitor flags: the snapshot cadence (`--monitor`) and the
+/// optional artifact path (`--health-out`, which implies monitoring at
+/// the default cadence).
+struct MonitorArgs {
+    interval_ns: Option<u64>,
+    health_out: Option<String>,
+}
+
+impl MonitorArgs {
+    fn parse(args: &[String]) -> MonitorArgs {
+        let interval_ns = arg(args, "monitor").map(|s| {
+            let iv: u64 = s.parse().expect("monitor");
+            assert!(iv >= 1, "--monitor needs a positive interval");
+            iv
+        });
+        MonitorArgs {
+            interval_ns,
+            health_out: arg(args, "health-out"),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.interval_ns.is_some() || self.health_out.is_some()
+    }
+
+    /// Attach a monitor at the requested (or default) cadence.
+    fn attach(&self, world: World) -> World {
+        if self.active() {
+            world.with_monitor(Monitor::new(self.interval_ns.unwrap_or(10_000)))
+        } else {
+            world
+        }
+    }
+
+    /// Print the health summary and write the artifact from a completed
+    /// monitored run. A run cut short by a stall or failure never gets
+    /// here — its post-mortem is the watchdog diagnosis and flight tail.
+    fn emit(&self, res: &adapt::mpi::RunResult) {
+        if !self.active() {
+            return;
+        }
+        let h = res
+            .health
+            .as_ref()
+            .expect("monitored run carries a health report");
+        print!("{}", health_report_text(h));
+        if let Some(path) = &self.health_out {
+            std::fs::write(path, health_json(h)).expect("write health");
+            println!("  health artifact -> {path}");
+        }
+    }
+}
+
 /// Where a stall or audit post-mortem lands (see `--flight`).
 const FLIGHT_DUMP_PATH: &str = "adapt-flight.json";
 
@@ -373,15 +438,22 @@ impl FaultArgs {
         }
     }
 
-    /// One-line recovery summary; the CI smoke job greps for this.
+    /// One-line recovery summary; the CI smoke job greps for this. A
+    /// monitored run appends its alert count, so the one grep also
+    /// answers "did the detectors notice".
     fn summary(&self, res: &adapt::mpi::RunResult) {
         if self.plan.is_none() {
             return;
         }
         let s = &res.stats;
+        let alerts = res
+            .health
+            .as_ref()
+            .map(|h| format!(" alerts={}", h.total_alerts()))
+            .unwrap_or_default();
         println!(
             "  recovery: drops={} retransmits={} acks={} dups={} backoff={}ns \
-             killed={} detected={}",
+             killed={} detected={}{alerts}",
             s.drops_injected,
             s.retransmits,
             s.acks,
@@ -437,6 +509,7 @@ fn main() {
     };
     let faults = FaultArgs::parse(&args, seed);
     let whatif = WhatIfArgs::parse(&args);
+    let monitor = MonitorArgs::parse(&args);
 
     if gpu {
         assert!(
@@ -446,6 +519,10 @@ fn main() {
         assert!(
             !whatif.wanted(),
             "--whatif/--diff-against/--obs-out run on the CPU path"
+        );
+        assert!(
+            !monitor.active(),
+            "--monitor/--health-out snapshot the CPU event loop; drop --gpu"
         );
         assert!(
             threads.is_none(),
@@ -549,7 +626,7 @@ fn main() {
                 "--whatif/--diff-against/--obs-out need the full recorder; \
                  drop --summary-out/--flight"
             );
-            let mut world = shard(World::cpu(machine, nranks, noise_model));
+            let mut world = monitor.attach(shard(World::cpu(machine, nranks, noise_model)));
             if obs.wanted() || whatif.wanted() {
                 world = world.with_recorder(obs.recorder());
             }
@@ -562,6 +639,7 @@ fn main() {
             print!("{}", res.stats);
             faults.summary(&res);
             println!("  {}", res.audit);
+            monitor.emit(&res);
             if obs.wanted() {
                 obs.emit(&res);
             }
@@ -601,8 +679,13 @@ fn main() {
         // Traced single run (ignores --noise scope subtleties).
         let noise_model =
             adapt::collectives::noise_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let world =
-            shard(World::cpu(case.machine.clone(), case.nranks, noise_model)).enable_trace();
+        let world = monitor
+            .attach(shard(World::cpu(
+                case.machine.clone(),
+                case.nranks,
+                noise_model,
+            )))
+            .enable_trace();
         let res = faults.run(world, case.programs());
         std::fs::write(&path, adapt::mpi::trace_to_csv(&res.trace)).expect("write trace");
         println!(
@@ -613,6 +696,7 @@ fn main() {
         );
         faults.summary(&res);
         println!("  {}", res.audit);
+        monitor.emit(&res);
         return;
     }
     let obs = ObsArgs::parse(&args);
@@ -626,7 +710,10 @@ fn main() {
         // recorder attached. Results are identical either way — recording
         // never perturbs the simulation.
         let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let res = faults.run(shard(world).with_recorder(obs.recorder()), programs);
+        let res = faults.run(
+            monitor.attach(shard(world)).with_recorder(obs.recorder()),
+            programs,
+        );
         dump_flight_on_dirty_audit(&res);
         assert!(res.audit.is_clean(), "{}", res.audit);
         println!(
@@ -637,6 +724,7 @@ fn main() {
         print!("{}", res.stats);
         faults.summary(&res);
         println!("  audit: clean (invariants asserted by the runner)");
+        monitor.emit(&res);
         if obs.wanted() {
             obs.emit(&res);
         }
@@ -659,7 +747,7 @@ fn main() {
     }
     if faults.active() {
         let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let res = faults.run(shard(world), programs);
+        let res = faults.run(monitor.attach(shard(world)), programs);
         assert!(res.audit.is_clean(), "{}", res.audit);
         println!(
             "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",
@@ -669,14 +757,16 @@ fn main() {
         print!("{}", res.stats);
         faults.summary(&res);
         println!("  audit: clean (invariants asserted by the runner)");
+        monitor.emit(&res);
         return;
     }
-    if threads.is_some() {
+    if threads.is_some() || monitor.active() {
         // Same world and programs as run_once_scoped, routed through the
-        // sharded core — the printed times must match the sequential run
-        // byte for byte; only the epoch counters are new.
+        // sharded core and/or the health monitor — the printed times must
+        // match the plain run byte for byte; only the epoch counters and
+        // the health block are new.
         let (world, programs) = world_for_case(&case, NoiseScope::PerNode, noise, seed);
-        let res = shard(world).run(programs);
+        let res = monitor.attach(shard(world)).run(programs);
         assert!(res.audit.is_clean(), "{}", res.audit);
         println!(
             "{op} ({}) on {nranks} ranks, {msg} bytes, {noise}% noise: {:.1} us",
@@ -685,6 +775,7 @@ fn main() {
         );
         print!("{}", res.stats);
         println!("  audit: clean (invariants asserted by the runner)");
+        monitor.emit(&res);
         return;
     }
     let (us, stats) = run_once_scoped(&case, NoiseScope::PerNode, noise, seed);

@@ -127,6 +127,40 @@ fn streaming_summary_is_thread_count_invariant() {
     }
 }
 
+/// The health monitor's snapshot timer rides the same deterministic
+/// queue as every other event, so the exported health artifact — the
+/// snapshot count, every detector counter, and the full alert stream —
+/// must be byte-identical at threads 1/2/4/8 on the golden fixture.
+#[test]
+fn health_artifact_is_thread_count_invariant() {
+    use adapt::obs::{health_json, Monitor};
+    let run = |threads: usize| {
+        let case = CollectiveCase {
+            machine: profiles::cori(4),
+            nranks: 128,
+            op: OpKind::Bcast,
+            library: Library::OmpiAdapt,
+            msg_bytes: 1 << 20,
+        };
+        let noise = noise_for_case(&case, NoiseScope::PerNode, 10.0, 42);
+        let world = World::cpu(case.machine.clone(), case.nranks, noise)
+            .with_threads(threads)
+            .with_monitor(Monitor::new(20_000));
+        let res = world.run(case.programs());
+        assert!(res.audit.is_clean(), "{}", res.audit);
+        health_json(&res.health.expect("monitored run carries a health report"))
+    };
+    let want = run(1);
+    assert!(want.contains("\"format\": \"adapt-obs-health-v1\""));
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            run(threads),
+            want,
+            "health JSON diverged between threads=1 and threads={threads}"
+        );
+    }
+}
+
 /// Chaos fixture: seeded loss plus a rank stall — retransmit timers
 /// (tracked, cancellable events) and fault commands all cross the
 /// sharded queue.
